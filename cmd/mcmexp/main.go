@@ -1,0 +1,87 @@
+// Command mcmexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|all [-scale quick|full] [-seed N]
+//
+// Quick scale (default) runs reduced budgets sized for one CPU core; full
+// scale runs the paper's budgets (see EXPERIMENTS.md for the mapping).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmpart/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig5, table2, fig6, table3, fig7, all")
+	scaleFlag := flag.String("scale", "quick", "scale: quick or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+
+	if run("table1") {
+		res, err := experiments.Table1(*seed, 200)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+
+	var f5 *experiments.Fig5Result
+	if run("fig5") || run("table2") || run("fig6") || run("table3") {
+		f5, err = experiments.Figure5(experiments.Fig5Config{Scale: scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if run("fig5") {
+		fmt.Println(f5.Format())
+	}
+	if run("table2") {
+		fmt.Println(experiments.Table2(f5).Format("Table 2: samples to reach geomean improvement (test set, cost model)"))
+	}
+
+	var f6 *experiments.Fig6Result
+	if run("fig6") || run("table3") {
+		f6, err = experiments.Figure6(experiments.Fig6Config{
+			Scale:      scale,
+			Seed:       *seed,
+			Pretrained: f5.Pretrained,
+			PolicyCfg:  f5.PolicyCfg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if run("fig6") {
+		fmt.Println(f6.Format())
+	}
+	if run("table3") {
+		t3 := experiments.Table3(f6)
+		fmt.Println(t3.Format("Table 3: samples to reach BERT improvement (hardware simulator)"))
+		fmt.Println(experiments.SearchTimeSummary(f6, t3))
+		fmt.Println()
+	}
+
+	if run("fig7") {
+		res, err := experiments.Figure7(experiments.Fig7Config{Scale: scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcmexp:", err)
+	os.Exit(1)
+}

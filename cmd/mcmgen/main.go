@@ -1,0 +1,71 @@
+// Command mcmgen generates synthetic workload graphs as JSON files.
+//
+// Usage:
+//
+//	mcmgen -out dir [-seed 1] [-what corpus|bert|all]
+//
+// It writes the 87-model pre-training corpus (train/validation/test
+// subdirectories matching the 66/5/16 split) and/or the 2138-node BERT
+// graph, in the JSON format cmd/mcmpart consumes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "graphs", "output directory")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	what := flag.String("what", "all", "what to generate: corpus, bert, all")
+	flag.Parse()
+
+	if *what == "corpus" || *what == "all" {
+		ds := workload.Corpus(*seed)
+		for sub, graphs := range map[string][]*graph.Graph{
+			"train":      ds.Train,
+			"validation": ds.Validation,
+			"test":       ds.Test,
+		} {
+			dir := filepath.Join(*out, sub)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+			for _, g := range graphs {
+				if err := writeGraph(filepath.Join(dir, g.Name()+".json"), g); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Printf("wrote %d corpus graphs (66/5/16 split) under %s\n", workload.CorpusSize, *out)
+	}
+	if *what == "bert" || *what == "all" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		g := workload.BERT()
+		if err := writeGraph(filepath.Join(*out, "bert.json"), g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote bert.json (%d nodes, %d MiB of weights)\n", g.NumNodes(), g.TotalParamBytes()>>20)
+	}
+}
+
+func writeGraph(path string, g *graph.Graph) error {
+	data, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcmgen:", err)
+	os.Exit(1)
+}

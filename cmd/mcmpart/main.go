@@ -1,0 +1,93 @@
+// Command mcmpart partitions a computation graph onto an MCM package.
+//
+// Usage:
+//
+//	mcmpart -graph model.json [-package edge36] [-method rl|random|sa|greedy]
+//	        [-budget 200] [-seed 1] [-sim] [-dot out.dot]
+//
+// The graph JSON format is produced by cmd/mcmgen (or any tool emitting
+// {"name", "nodes", "edges"}; see internal/graph). The chosen partition is
+// printed as JSON on stdout together with its evaluation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mcmpart"
+	"mcmpart/internal/graph"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "path to the graph JSON (required; \"bert\" for the built-in BERT)")
+	pkgName := flag.String("package", "edge36", "package preset: dev4, dev8, edge36")
+	method := flag.String("method", "rl", "partitioning method: greedy, random, sa, rl")
+	budget := flag.Int("budget", 200, "sample budget for search methods")
+	seed := flag.Int64("seed", 1, "random seed")
+	sim := flag.Bool("sim", false, "evaluate candidates on the hardware simulator (slower, checks memory)")
+	dotPath := flag.String("dot", "", "also write the partitioned graph as Graphviz DOT")
+	flag.Parse()
+
+	if *graphPath == "" {
+		fatal(fmt.Errorf("-graph is required"))
+	}
+	var g *graph.Graph
+	if *graphPath == "bert" {
+		g = mcmpart.BERT()
+	} else {
+		data, err := os.ReadFile(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		g = new(graph.Graph)
+		if err := json.Unmarshal(data, g); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *graphPath, err))
+		}
+	}
+	pkg, err := mcmpart.PackagePreset(*pkgName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mcmpart.PartitionGraph(g, pkg, mcmpart.Options{
+		Method:       mcmpart.Method(*method),
+		SampleBudget: *budget,
+		Seed:         *seed,
+		UseSimulator: *sim,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	hw := mcmpart.Evaluate(g, pkg, res.Partition)
+	out := struct {
+		Graph       string                 `json:"graph"`
+		Package     string                 `json:"package"`
+		Method      string                 `json:"method"`
+		Partition   mcmpart.Partition      `json:"partition"`
+		Throughput  float64                `json:"throughput"`
+		Improvement float64                `json:"improvement_over_greedy"`
+		Samples     int                    `json:"samples"`
+		Hardware    mcmpart.HardwareResult `json:"hardware"`
+	}{g.Name(), pkg.Name, *method, res.Partition, res.Throughput, res.Improvement, res.Samples, hw}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f, res.Partition); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcmpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Transfer learning: pre-train the RL policy on a set of small models with
+// the analytical cost model as reward, then deploy it zero-shot and with
+// fine-tuning on an unseen graph — the paper's Figure 4 workflow end to end.
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/pretrain"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+	"mcmpart/internal/workload"
+)
+
+func main() {
+	pkg := mcm.Dev8()
+	model := costmodel.New(pkg)
+	factory := func(g *graph.Graph) (*rl.Env, error) {
+		pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+		if err != nil {
+			return nil, err
+		}
+		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
+		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh), nil
+	}
+
+	// Pre-train on a handful of corpus graphs.
+	ds := workload.Corpus(1)
+	cfg := pretrain.QuickConfig(pkg.Chips)
+	cfg.TotalSamples = 400
+	cfg.Checkpoints = 5
+	fmt.Println("pre-training on", len(ds.Train[:8]), "graphs against the analytical cost model...")
+	res, err := pretrain.Run(ds.Train[:8], ds.Validation[:2], factory, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoints: %d, validation scores: %.3f (best #%d)\n\n",
+		len(res.Checkpoints), res.Scores, res.BestIndex)
+
+	// Deploy on an unseen test graph three ways (an MLP: the family with
+	// the widest gap between the greedy baseline and a balanced pipeline).
+	unseen := ds.Test[0]
+	for _, g := range ds.Test {
+		if strings.HasPrefix(g.Name(), "mlp") {
+			unseen = g
+			break
+		}
+	}
+	fmt.Printf("deploying on unseen graph %v\n", unseen)
+	budget := 60
+	rng := rand.New(rand.NewSource(2))
+
+	fresh, _ := factory(unseen)
+	search.Random(fresh, budget, rng)
+	fmt.Printf("  random search:   %.3fx after %d samples\n", fresh.BestImprovement(), fresh.Samples)
+
+	zs, _ := factory(unseen)
+	policy := rl.NewPolicy(cfg.Policy, rng)
+	if err := policy.Restore(res.Best()); err != nil {
+		log.Fatal(err)
+	}
+	rl.ZeroShot(policy, zs, budget, rng)
+	fmt.Printf("  RL zero-shot:    %.3fx after %d samples\n", zs.BestImprovement(), zs.Samples)
+
+	ft, _ := factory(unseen)
+	policy2 := rl.NewPolicy(cfg.Policy, rng)
+	if err := policy2.Restore(res.Best()); err != nil {
+		log.Fatal(err)
+	}
+	rl.FineTune(policy2, ft, cfg.PPO, budget, rng)
+	fmt.Printf("  RL fine-tuning:  %.3fx after %d samples\n", ft.BestImprovement(), ft.Samples)
+}

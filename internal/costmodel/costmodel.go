@@ -1,0 +1,67 @@
+// Package costmodel implements the analytical cost model the paper uses as
+// the pre-training reward (Sec. 5.1): it "estimates the latency of running
+// all nodes assigned to each chip, and returns the maximal latency of all
+// chips". The model is deliberately simple — flat peak compute rate, no
+// per-operator efficiency, no link contention, and crucially no memory
+// model — so it evaluates in microseconds and exhibits the same
+// false-positive structure as the paper's (partitions that look fast
+// analytically can fail on hardware; Sec. 5.4 measures that gap).
+package costmodel
+
+import (
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+)
+
+// Model is the analytical cost model for one package.
+type Model struct {
+	pkg *mcm.Package
+}
+
+// New returns an analytical model of the package.
+func New(pkg *mcm.Package) *Model { return &Model{pkg: pkg} }
+
+// Latency estimates the pipeline interval of the partitioned graph: the
+// maximum over chips of compute time plus incoming transfer time. Invalid
+// chip IDs are the caller's bug and panic via the package arithmetic.
+func (m *Model) Latency(g *graph.Graph, p partition.Partition) float64 {
+	chips := m.pkg.Chips
+	busy := make([]float64, chips)
+	for v, c := range p {
+		busy[c] += m.pkg.ComputeTime(g.Node(v).FLOPs)
+	}
+	for _, e := range g.Edges() {
+		a, b := p[e.From], p[e.To]
+		if a != b {
+			busy[b] += m.pkg.TransferTime(a, b, e.Bytes)
+		}
+	}
+	var max float64
+	for _, t := range busy {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Throughput returns the estimated steady-state throughput (inferences per
+// second) of the pipelined execution: the reciprocal of Latency. It returns
+// 0 for an empty graph.
+func (m *Model) Throughput(g *graph.Graph, p partition.Partition) float64 {
+	l := m.Latency(g, p)
+	if l <= 0 {
+		return 0
+	}
+	return 1 / l
+}
+
+// Evaluate implements the evaluation-environment contract shared with the
+// hardware simulator: it returns the predicted throughput and whether the
+// partition is considered valid. The analytical model cannot observe
+// dynamic constraints, so every partition is "valid" here — exactly the
+// blind spot Sec. 5.4 quantifies.
+func (m *Model) Evaluate(g *graph.Graph, p partition.Partition) (float64, bool) {
+	return m.Throughput(g, p), true
+}

@@ -1,0 +1,289 @@
+package cpsolver
+
+import "math/bits"
+
+// enqueue schedules node v for (re-)propagation.
+func (s *Solver) enqueue(v int32) {
+	if !s.inQ[v] {
+		s.inQ[v] = true
+		s.queue = append(s.queue, v)
+	}
+}
+
+// propagate runs the propagation loop to a fixpoint. It returns true on
+// conflict (some constraint is unsatisfiable under the current domains).
+//
+// Three propagators run interleaved:
+//
+//   - precedence bounds (acyclic dataflow, Eq. 2): for every edge (u,v),
+//     dom(v) keeps only chips >= min(dom(u)) and dom(u) only chips
+//     <= max(dom(v));
+//   - binding (triangle dependency, Eq. 4): when a node's domain becomes a
+//     singleton the chip-level quotient graph is updated and audited so no
+//     direct inter-chip dependency coexists with an indirect one;
+//   - prefix coverage (no skipping chips, Eq. 3): every chip below the
+//     proven lower bound of the final maximum chip must remain coverable,
+//     and there must be enough unbound nodes to cover the missing ones.
+func (s *Solver) propagate() bool {
+	g := s.g
+	for {
+		for len(s.queue) > 0 {
+			v := s.queue[len(s.queue)-1]
+			s.queue = s.queue[:len(s.queue)-1]
+			s.inQ[v] = false
+
+			d := s.doms[v]
+			if d.Empty() {
+				return true
+			}
+			if d.Singleton() && !s.bound[v] {
+				if s.bindNode(v) {
+					return true
+				}
+			}
+			min, max := d.Min(), d.Max()
+			// Push bounds through out-edges: successors must be >= min.
+			for _, ei := range g.OutEdges(int(v)) {
+				w := int32(g.Edge(int(ei)).To)
+				if nd := s.doms[w] & maskGE(min); nd != s.doms[w] {
+					s.stats.Propagations++
+					s.setDomain(w, nd)
+					if nd.Empty() {
+						return true
+					}
+					s.enqueue(w)
+				}
+			}
+			// Push bounds through in-edges: predecessors must be <= max.
+			for _, ei := range g.InEdges(int(v)) {
+				w := int32(g.Edge(int(ei)).From)
+				if nd := s.doms[w] & maskLE(max); nd != s.doms[w] {
+					s.stats.Propagations++
+					s.setDomain(w, nd)
+					if nd.Empty() {
+						return true
+					}
+					s.enqueue(w)
+				}
+			}
+		}
+		// Queue drained: run the global no-skip audit, which may enqueue
+		// more work (forced bindings) or detect a conflict.
+		conflict, more := s.checkNoSkip()
+		if conflict {
+			return true
+		}
+		if !more {
+			return false
+		}
+	}
+}
+
+// bindNode marks v as bound and merges its incident edges into the
+// chip-level quotient graph. It returns true on a triangle conflict.
+func (s *Solver) bindNode(v int32) bool {
+	s.trail = append(s.trail, trailEntry{kind: trailBound, a: v})
+	s.bound[v] = true
+	g := s.g
+	c := s.doms[v].Min()
+	for _, ei := range g.OutEdges(int(v)) {
+		w := g.Edge(int(ei)).To
+		if s.bound[w] {
+			if s.addChipEdge(c, s.doms[w].Min()) {
+				return true
+			}
+		}
+	}
+	for _, ei := range g.InEdges(int(v)) {
+		w := g.Edge(int(ei)).From
+		if s.bound[w] {
+			if s.addChipEdge(s.doms[w].Min(), c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// addChipEdge records a dependency between two chips of the quotient graph,
+// auditing the triangle constraint when the pair is new. It returns true on
+// conflict.
+func (s *Solver) addChipEdge(a, b int) bool {
+	if a == b {
+		return false
+	}
+	// Precedence propagation guarantees a < b by the time both ends are
+	// bound; the audit relies on that order.
+	s.trail = append(s.trail, trailEntry{kind: trailAdj, a: int32(a), b: int32(b)})
+	s.adjCount[a][b]++
+	if s.adjCount[a][b] > 1 {
+		return false // pair already audited
+	}
+	s.chipAdj[a] |= single(b)
+	s.adjStack = append(s.adjStack, adjEvent{
+		pair:  chipPair{int8(a), int8(b)},
+		level: int32(len(s.decisions) - 1),
+	})
+	return s.triangleConflict()
+}
+
+// triangleConflict audits the whole chip quotient graph: for every direct
+// edge (a,b) the longest a->b path must be exactly one hop (Eq. 4). The
+// graph has at most C <= 64 vertices and all edges go from lower to higher
+// IDs, so a O(C^2) sweep per source suffices.
+func (s *Solver) triangleConflict() bool {
+	s.stats.TriangleChecks++
+	c := s.chips
+	// reach[b] (as bitsets per source) is expensive to keep incrementally;
+	// with C <= 64 a fresh longest-path sweep is ~C^2 word ops.
+	var dist [64]int8
+	for a := 0; a < c; a++ {
+		row := s.chipAdj[a]
+		if row == 0 {
+			continue
+		}
+		for b := a + 1; b < c; b++ {
+			dist[b] = 0
+		}
+		hi := row.Max()
+		for m := a + 1; m <= hi; m++ {
+			dm := dist[m]
+			if row.Has(m) && dm < 1 {
+				dm = 1
+				dist[m] = 1
+			}
+			if dm == 0 {
+				continue
+			}
+			if dm > 1 && row.Has(m) {
+				// Direct a->m coexists with a longer path: record the
+				// involved chip pairs for conflict-directed backjumping.
+				s.recordTriangleConflict(a, m, &dist)
+				return true
+			}
+			next := s.chipAdj[m]
+			if next == 0 {
+				continue
+			}
+			if nm := next.Max(); nm > hi {
+				hi = nm
+			}
+			for rest := next; rest != 0; rest &= rest - 1 {
+				b := bits.TrailingZeros64(uint64(rest))
+				if d := dm + 1; d > dist[b] {
+					dist[b] = d
+				}
+			}
+		}
+	}
+	return false
+}
+
+// recordTriangleConflict fills s.conflictPairs with the direct pair (a,m)
+// and the pairs of one longest a->m path reconstructed from the audit's
+// dist array.
+func (s *Solver) recordTriangleConflict(a, m int, dist *[64]int8) {
+	s.conflictPairs = append(s.conflictPairs[:0], chipPair{int8(a), int8(m)})
+	cur := m
+	d := dist[m]
+	for d > 1 {
+		for j := cur - 1; j > a; j-- {
+			if dist[j] == d-1 && s.chipAdj[j].Has(cur) {
+				s.conflictPairs = append(s.conflictPairs, chipPair{int8(j), int8(cur)})
+				cur = j
+				break
+			}
+		}
+		d--
+	}
+	s.conflictPairs = append(s.conflictPairs, chipPair{int8(a), int8(cur)})
+}
+
+// checkNoSkip audits Eq. 3. Let maxLow = max over nodes of min(dom): the
+// final maximum used chip is provably >= maxLow, so every chip d <= maxLow
+// must eventually host a node. The audit fails when some such chip has been
+// pruned from every domain, or when fewer unbound nodes remain than chips
+// that still need a first occupant. When exactly one node can cover a
+// missing chip, that node is forced onto it (a Hall-style implied
+// assignment) and propagation resumes; the bool results are (conflict,
+// moreWork).
+func (s *Solver) checkNoSkip() (bool, bool) {
+	var union, boundUsed Domain
+	var minHist, maxHist [65]int
+	maxLow := 0
+	unbound := 0
+	for v, d := range s.doms {
+		union |= d
+		mn, mx := d.Min(), d.Max()
+		minHist[mn]++
+		maxHist[mx]++
+		if mn > maxLow {
+			maxLow = mn
+		}
+		if s.bound[v] {
+			boundUsed |= d
+		} else {
+			unbound++
+		}
+	}
+	need := maskLE(maxLow) & fullDomain(s.chips)
+	if missing := need &^ union; missing != 0 {
+		return true, false // some required chip is uncoverable
+	}
+	uncovered := need &^ boundUsed
+	if uncovered.Count() > unbound {
+		return true, false // not enough nodes left to cover required chips
+	}
+	// Hall-interval audit: every chip in 0..maxLow needs a distinct node,
+	// so for any chip interval [a,b] with b <= maxLow at least b-a+1 nodes
+	// must have a domain intersecting it. With interval relaxations of the
+	// domains, #intersecting = N - #(max < a) - #(min > b), computable
+	// from two prefix sums; the full audit is O(C^2). This is what spots
+	// regional deficiencies (e.g. two nodes bound to chips 10 and 13 with
+	// a single node left between them for chips 11 and 12) the moment a
+	// decision creates them instead of thousands of backtracks later.
+	n := len(s.doms)
+	var maxBelow [66]int // maxBelow[a] = #vars with max < a
+	for a := 1; a <= 65; a++ {
+		maxBelow[a] = maxBelow[a-1] + maxHist[a-1]
+	}
+	minAbove := 0 // #vars with min > b, computed by descending b
+	for b := maxLow; b >= 0; b-- {
+		if b < 64 {
+			minAbove += minHist[b+1]
+		}
+		avail := n - minAbove
+		for a := b; a >= 0; a-- {
+			// avail now counts vars with min <= b and max >= a.
+			if avail-maxBelow[a] < b-a+1 {
+				return true, false
+			}
+		}
+	}
+	if uncovered == 0 {
+		return false, false
+	}
+	// Hall-style forcing: a required chip coverable by exactly one node
+	// pins that node. One pass over the domains accumulates, per uncovered
+	// chip, how many nodes can still host it and which node saw it last.
+	var count [64]int32
+	var cand [64]int32
+	for v, d := range s.doms {
+		for rest := d & uncovered; rest != 0; rest &= rest - 1 {
+			chip := bits.TrailingZeros64(uint64(rest))
+			count[chip]++
+			cand[chip] = int32(v)
+		}
+	}
+	forced := false
+	for rest := uncovered; rest != 0; rest &= rest - 1 {
+		chip := bits.TrailingZeros64(uint64(rest))
+		if count[chip] == 1 && !s.doms[cand[chip]].Singleton() {
+			s.stats.Propagations++
+			s.setDomain(cand[chip], single(chip))
+			s.enqueue(cand[chip])
+			forced = true
+		}
+	}
+	return false, forced
+}

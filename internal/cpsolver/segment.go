@@ -1,0 +1,297 @@
+package cpsolver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+)
+
+// Segmenter generates valid partitions of chain-dominated graphs by exact
+// dynamic programming over the contiguous family: lay the nodes out in
+// topological order and choose C-1 boundary gaps such that no edge span
+// contains two boundaries. Every such segmentation satisfies all three
+// static constraints (monotone chips, prefix usage, and all cut edges
+// adjacent, so the chip quotient graph is a path). For graphs whose
+// dependence structure is a spine with local side nodes — BERT above all —
+// the converse also holds up to side-node jitter, so the family covers
+// essentially the whole valid space.
+//
+// The DP samples a segmentation with probability proportional to
+// prod_u P[u][f(u)] in O(N*C) time: forward pass with streaming
+// log-sum-exp, backward boundary-by-boundary sampling. With uniform P this
+// is an exact uniform sample over the family — the diversity the paper's
+// Random-search baseline relies on, which sequential per-node sampling
+// (Algorithm 1) cannot deliver at production scale without CP-SAT's clause
+// learning (see DESIGN.md for the deviation note).
+type Segmenter struct {
+	g *graph.Graph
+	// chips is the package chip count C (the policy action space);
+	// k <= chips is the number of chips actually laid out, bounded by the
+	// graph's boundary capacity (the no-skip constraint permits using any
+	// prefix of the chips).
+	chips int
+	k     int
+	// order[p] is the node at topological position p.
+	order []int
+	// next[gap] is the earliest allowed gap for the following boundary: a
+	// boundary at gap g cuts every edge span containing g, and no edge
+	// may cross two boundaries. It is nondecreasing.
+	next []int32
+	// logPS is scratch for per-chip prefix sums of log P.
+	logPS [][]float64
+}
+
+// NewSegmenter prepares a segmenter for the graph on the given chip count.
+// When the graph admits fewer boundaries than chips-1, layouts use the
+// longest feasible chip prefix instead (Eq. 3 permits any prefix).
+func NewSegmenter(g *graph.Graph, chips int) (*Segmenter, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if chips <= 0 || chips > mcm.MaxChips {
+		return nil, fmt.Errorf("cpsolver: chip count %d out of range 1..%d", chips, mcm.MaxChips)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	pos := make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = int32(i) + 1
+	}
+	for _, e := range g.Edges() {
+		pu, pv := pos[e.From], pos[e.To]
+		if pv > next[pu] {
+			next[pu] = pv
+		}
+	}
+	for i := 1; i < n; i++ {
+		if next[i-1] > next[i] {
+			next[i] = next[i-1]
+		}
+	}
+	sg := &Segmenter{g: g, chips: chips, order: order, next: next}
+	sg.k = chips
+	if cap := sg.capacity(); cap < chips-1 {
+		sg.k = cap + 1
+	}
+	return sg, nil
+}
+
+// LayoutChips returns the number of chips layouts actually use, which is
+// less than Chips when the graph's boundary capacity cannot host them all.
+func (sg *Segmenter) LayoutChips() int { return sg.k }
+
+// capacity returns the maximum number of span-respecting boundaries.
+func (sg *Segmenter) capacity() int {
+	n := len(sg.order)
+	count := 0
+	for g := 0; g < n-1; {
+		count++
+		g = int(sg.next[g])
+	}
+	return count
+}
+
+// Chips returns the chip count C.
+func (sg *Segmenter) Chips() int { return sg.chips }
+
+// logProb returns clamped log P[u][c]; nil rows mean uniform (0 works since
+// only relative weights matter).
+func logProb(p []float64, c int) float64 {
+	if p == nil {
+		return 0
+	}
+	v := p[c]
+	if v < 1e-12 {
+		v = 1e-12
+	}
+	return math.Log(v)
+}
+
+// Sample draws a contiguous partition with probability proportional to
+// prod_u probs[u][f(u)]. probs may be nil (uniform over the family).
+func (sg *Segmenter) Sample(probs [][]float64, rng *rand.Rand) (partition.Partition, error) {
+	n := len(sg.order)
+	c := sg.k
+	if probs != nil && len(probs) != n {
+		return nil, fmt.Errorf("cpsolver: probs has %d rows for %d nodes", len(probs), n)
+	}
+	if c == 1 {
+		return sg.emit(nil)
+	}
+	// Per-chip prefix sums of log-probabilities along the topo layout:
+	// ps[k][g] = sum over positions q <= g of log P[order[q]][k].
+	if sg.logPS == nil {
+		sg.logPS = make([][]float64, c)
+		for k := range sg.logPS {
+			sg.logPS[k] = make([]float64, n)
+		}
+	}
+	// Per-node log-likelihoods are tempered to a per-segment average:
+	// without this, thousands of independent per-node factors accumulate
+	// into enormous segment-level log-ratios, so even the mild biases of
+	// an untrained policy would pin every boundary and emit wildly
+	// imbalanced layouts. Scaling by C/N makes a segment's weight the
+	// mean per-node preference: negligible for a near-uniform policy
+	// (the counting prior dominates, samples stay balanced and diverse),
+	// decisive for a confident one (mean log-ratios survive intact).
+	calib := math.Sqrt(float64(c) / float64(n))
+	if calib > 1 {
+		calib = 1
+	}
+	ps := sg.logPS
+	for k := 0; k < c; k++ {
+		acc := 0.0
+		for q := 0; q < n; q++ {
+			var row []float64
+			if probs != nil {
+				row = probs[sg.order[q]]
+			}
+			acc += calib * logProb(row, k)
+			ps[k][q] = acc
+		}
+	}
+	// Forward DP: alpha[k][g] = log total weight of layouts of the first
+	// k+1 segments with boundary k+1 at gap g (gap g = between positions
+	// g and g+1; boundaries live at gaps 0..n-2).
+	// alpha[0][g] = ps[0][g]; alpha[k][g] = ps[k][g] + LSE over feasible
+	// g' (next[g'] <= g) of (alpha[k-1][g'] - ps[k][g']).
+	nb := c - 1 // number of boundaries
+	alpha := make([][]float64, nb)
+	for k := range alpha {
+		alpha[k] = make([]float64, n-1)
+	}
+	for g := 0; g < n-1; g++ {
+		alpha[0][g] = ps[0][g]
+	}
+	for k := 1; k < nb; k++ {
+		// Streaming LSE over g' with next[g'] <= g, exploiting that
+		// next is nondecreasing.
+		lseMax := math.Inf(-1)
+		lseSum := 0.0
+		gp := 0
+		for g := 0; g < n-1; g++ {
+			for gp < n-1 && int(sg.next[gp]) <= g {
+				w := alpha[k-1][gp] - ps[k][gp]
+				if !math.IsInf(w, -1) {
+					if w > lseMax {
+						lseSum = lseSum*math.Exp(lseMax-w) + 1
+						lseMax = w
+					} else {
+						lseSum += math.Exp(w - lseMax)
+					}
+				}
+				gp++
+			}
+			if lseSum == 0 {
+				alpha[k][g] = math.Inf(-1)
+			} else {
+				alpha[k][g] = ps[k][g] + lseMax + math.Log(lseSum)
+			}
+		}
+	}
+	// Sample the last boundary: weight = alpha[nb-1][g] + tail segment on
+	// chip c-1 (positions g+1..n-1).
+	bounds := make([]int, nb)
+	tail := func(g int) float64 { return ps[c-1][n-1] - ps[c-1][g] }
+	g, err := sampleLogWeights(rng, n-1, func(g int) float64 {
+		return alpha[nb-1][g] + tail(g)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cpsolver: segment DP infeasible: %w", err)
+	}
+	bounds[nb-1] = g
+	// Backward: given boundary k at gap g, boundary k-1 at g' with weight
+	// alpha[k-1][g'] - ps[k][g'] over feasible g' (next[g'] <= g).
+	for k := nb - 1; k >= 1; k-- {
+		gk := bounds[k]
+		g, err := sampleLogWeights(rng, n-1, func(gp int) float64 {
+			if int(sg.next[gp]) > gk {
+				return math.Inf(-1)
+			}
+			return alpha[k-1][gp] - ps[k][gp]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cpsolver: segment DP backward step failed: %w", err)
+		}
+		bounds[k-1] = g
+	}
+	return sg.emit(bounds)
+}
+
+// Fit projects a (possibly invalid) hint onto the contiguous family,
+// mirroring FIX mode: agreements with the hint get overwhelming weight, so
+// the sampler keeps y wherever a valid layout allows and repairs the rest
+// with random but span-respecting boundaries.
+func (sg *Segmenter) Fit(y []int, rng *rand.Rand) (partition.Partition, error) {
+	n := len(sg.order)
+	if len(y) != n {
+		return nil, fmt.Errorf("cpsolver: hint has %d entries for %d nodes", len(y), n)
+	}
+	const agree, disagree = 1.0, 1e-9
+	probs := make([][]float64, n)
+	row := make([]float64, sg.chips*n)
+	for u := 0; u < n; u++ {
+		probs[u] = row[u*sg.chips : (u+1)*sg.chips]
+		_ = probs[u][sg.chips-1]
+		for k := range probs[u] {
+			probs[u][k] = disagree
+		}
+		if y[u] >= 0 && y[u] < sg.chips {
+			probs[u][y[u]] = agree
+		}
+	}
+	return sg.Sample(probs, rng)
+}
+
+// emit materializes the partition from boundary gaps (sorted ascending).
+func (sg *Segmenter) emit(bounds []int) (partition.Partition, error) {
+	p := make(partition.Partition, len(sg.order))
+	chip := 0
+	bi := 0
+	for pos, v := range sg.order {
+		p[v] = chip
+		for bi < len(bounds) && bounds[bi] == pos {
+			chip++
+			bi++
+		}
+	}
+	if err := p.Validate(sg.g, sg.chips); err != nil {
+		return nil, fmt.Errorf("cpsolver: internal error: segmenter emitted invalid partition: %w", err)
+	}
+	return p, nil
+}
+
+// sampleLogWeights draws an index in [0,n) with probability proportional to
+// exp(w(i)), streaming in one pass (weighted reservoir via Gumbel trick).
+func sampleLogWeights(rng *rand.Rand, n int, w func(int) float64) (int, error) {
+	best := -1
+	bestKey := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		wi := w(i)
+		if math.IsInf(wi, -1) {
+			continue
+		}
+		// Gumbel-max: argmax of w(i) + Gumbel noise is a categorical
+		// sample from softmax(w).
+		key := wi - math.Log(-math.Log(rng.Float64()))
+		if key > bestKey {
+			bestKey = key
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, ErrInfeasible
+	}
+	return best, nil
+}

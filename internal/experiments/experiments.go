@@ -1,0 +1,120 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sec. 5). Each experiment is a pure function from a
+// configuration to a result struct with a Format method that prints the
+// same rows/series the paper reports; cmd/mcmexp and the repository-root
+// benchmarks are thin wrappers around this package.
+//
+// Experiments run at two scales: ScaleQuick (default; minutes on one CPU
+// core, reduced sample budgets and network sizes) and ScaleFull (the
+// paper's budgets and the paper's 8x128 network). EXPERIMENTS.md records
+// measured results for both the shapes and the deltas against the paper.
+package experiments
+
+import (
+	"fmt"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/hwsim"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+	"mcmpart/internal/workload"
+)
+
+// Scale selects experiment budgets.
+type Scale int
+
+const (
+	// ScaleQuick runs reduced budgets sized for a single CPU core.
+	ScaleQuick Scale = iota
+	// ScaleFull runs the paper's budgets (5000/800 samples, 20000
+	// pre-training samples, the 8x128 network).
+	ScaleFull
+)
+
+// ParseScale converts a CLI flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick", "":
+		return ScaleQuick, nil
+	case "full":
+		return ScaleFull, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (quick or full)", s)
+}
+
+// Method identifies a search strategy in the figures.
+type Method string
+
+// The five strategies of Figures 5 and 6.
+const (
+	MethodRandom     Method = "Random"
+	MethodSA         Method = "SA"
+	MethodRL         Method = "RL"
+	MethodZeroshot   Method = "RL Zeroshot"
+	MethodFinetuning Method = "RL Finetuning"
+)
+
+// Methods lists the strategies in the paper's legend order.
+var Methods = []Method{MethodRandom, MethodSA, MethodRL, MethodZeroshot, MethodFinetuning}
+
+// evaluator abstracts the two environments: the analytical cost model
+// (pre-training) and the hardware simulator (deployment).
+type evaluator interface {
+	Evaluate(g *graph.Graph, p partition.Partition) (float64, bool)
+}
+
+// simAdapter adapts hwsim's richer interface to the evaluator contract.
+type simAdapter struct{ sim *hwsim.Simulator }
+
+func (a simAdapter) Evaluate(g *graph.Graph, p partition.Partition) (float64, bool) {
+	return a.sim.EvaluateThroughput(g, p)
+}
+
+// newEnv wires a graph to a partitioner, an evaluator and the greedy
+// baseline, producing an RL/search environment.
+func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
+	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: partitioner for %s: %w", g.Name(), err)
+	}
+	eval := func(p partition.Partition) (float64, bool) { return ev.Evaluate(g, p) }
+	base := search.Greedy(g, pkg.Chips, pkg.SRAMBytes)
+	baseTh, ok := eval(base)
+	if !ok || baseTh <= 0 {
+		return nil, fmt.Errorf("experiments: greedy baseline invalid on %s", g.Name())
+	}
+	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	env.UseSampleMode = true
+	return env, nil
+}
+
+// modelEvaluator returns the analytical-cost-model evaluator for a package.
+func modelEvaluator(pkg *mcm.Package) evaluator { return costmodel.New(pkg) }
+
+// simEvaluator returns the hardware-simulator evaluator for a package.
+func simEvaluator(pkg *mcm.Package, seed int64) evaluator {
+	return simAdapter{hwsim.New(pkg, hwsim.Options{Seed: seed})}
+}
+
+// policyConfig returns the network shape for a scale.
+func policyConfig(scale Scale, chips int) rl.Config {
+	if scale == ScaleFull {
+		return rl.DefaultConfig(chips)
+	}
+	return rl.QuickConfig(chips)
+}
+
+// ppoConfig returns the PPO hyper-parameters for a scale.
+func ppoConfig(scale Scale) rl.PPOConfig {
+	if scale == ScaleFull {
+		return rl.DefaultPPOConfig()
+	}
+	return rl.QuickPPOConfig()
+}
+
+// corpus returns the 87-model dataset used by the pre-training experiments.
+func corpus(seed int64) *workload.Dataset { return workload.Corpus(seed) }

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/pretrain"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+	"mcmpart/internal/stats"
+)
+
+// Fig5Config parameterizes the pre-training experiment of Sec. 5.2
+// (Figure 5 and Table 2).
+type Fig5Config struct {
+	Scale Scale
+	Seed  int64
+	// Pkg defaults to Edge36.
+	Pkg *mcm.Package
+	// SampleBudget is the per-graph evaluation budget (paper: 5000).
+	SampleBudget int
+	// TestGraphs caps how many of the 16 test graphs run (0 = all).
+	TestGraphs int
+	// PretrainSamples is the training-worker budget (paper: 20000).
+	PretrainSamples int
+	// TrainGraphs caps how many of the 66 training graphs the quick scale
+	// uses (0 = all).
+	TrainGraphs int
+}
+
+// withDefaults fills the scale-dependent budgets.
+func (c Fig5Config) withDefaults() Fig5Config {
+	if c.Pkg == nil {
+		c.Pkg = mcm.Edge36()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == ScaleFull {
+		if c.SampleBudget == 0 {
+			c.SampleBudget = 5000
+		}
+		if c.PretrainSamples == 0 {
+			c.PretrainSamples = 20000
+		}
+	} else {
+		if c.SampleBudget == 0 {
+			c.SampleBudget = 200
+		}
+		if c.PretrainSamples == 0 {
+			c.PretrainSamples = 600
+		}
+		if c.TestGraphs == 0 {
+			c.TestGraphs = 6
+		}
+		if c.TrainGraphs == 0 {
+			c.TrainGraphs = 12
+		}
+	}
+	return c
+}
+
+// Fig5Result holds the geomean improvement curves of Figure 5 plus the
+// pre-trained checkpoint reused by the BERT experiments.
+type Fig5Result struct {
+	Cfg Fig5Config
+	// Curves maps each method to its geomean best-so-far improvement per
+	// sample over the test graphs.
+	Curves map[Method][]float64
+	// Final is each method's improvement at the end of the budget.
+	Final map[Method]float64
+	// Pretrained is the validation-selected checkpoint.
+	Pretrained *pretrain.Result
+	// PolicyCfg is the network shape the checkpoint requires.
+	PolicyCfg rl.Config
+}
+
+// Figure5 reproduces the pre-training experiment: pre-train on the training
+// set against the analytical cost model, then compare Random, SA, RL from
+// scratch, zero-shot and fine-tuning on the held-out test graphs.
+func Figure5(cfg Fig5Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	ds := corpus(cfg.Seed)
+	ev := modelEvaluator(cfg.Pkg)
+	policyCfg := policyConfig(cfg.Scale, cfg.Pkg.Chips)
+
+	// Pre-training pipeline (training + validation workers, Figure 4).
+	train := ds.Train
+	if cfg.TrainGraphs > 0 && cfg.TrainGraphs < len(train) {
+		train = train[:cfg.TrainGraphs]
+	}
+	factory := func(g *graph.Graph) (*rl.Env, error) { return newEnv(g, cfg.Pkg, ev) }
+	pre, err := pretrain.Run(train, ds.Validation, factory, pretrain.Config{
+		Policy:            policyCfg,
+		PPO:               ppoConfig(cfg.Scale),
+		TotalSamples:      cfg.PretrainSamples,
+		Checkpoints:       10,
+		ValidationSamples: 8,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	test := ds.Test
+	if cfg.TestGraphs > 0 && cfg.TestGraphs < len(test) {
+		test = test[:cfg.TestGraphs]
+	}
+	res := &Fig5Result{
+		Cfg:        cfg,
+		Curves:     make(map[Method][]float64),
+		Final:      make(map[Method]float64),
+		Pretrained: pre,
+		PolicyCfg:  policyCfg,
+	}
+	histories := make(map[Method][][]float64)
+	for gi, g := range test {
+		seed := cfg.Seed + int64(gi)*101
+		for _, m := range Methods {
+			env, err := newEnv(g, cfg.Pkg, ev)
+			if err != nil {
+				return nil, err
+			}
+			if err := runMethod(m, env, policyCfg, ppoConfig(cfg.Scale), pre, cfg.SampleBudget, seed); err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", m, g.Name(), err)
+			}
+			histories[m] = append(histories[m], env.History)
+		}
+	}
+	for _, m := range Methods {
+		res.Curves[m] = stats.GeomeanCurves(histories[m], cfg.SampleBudget)
+		res.Final[m] = res.Curves[m][len(res.Curves[m])-1]
+	}
+	return res, nil
+}
+
+// runMethod executes one strategy on one environment for the budget.
+func runMethod(m Method, env *rl.Env, policyCfg rl.Config, ppoCfg rl.PPOConfig, pre *pretrain.Result, budget int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	// The RL methods drive the solver in SAMPLE mode: the policy's full
+	// distribution blends with the solver's completion weighting, which
+	// is what keeps early (high-entropy) policies at the Random baseline's
+	// sample quality instead of below it. The FIX-vs-SAMPLE comparison is
+	// covered by BenchmarkAblationSolverMode.
+	env.UseSampleMode = true
+	switch m {
+	case MethodRandom:
+		search.Random(env, budget, rng)
+	case MethodSA:
+		search.Anneal(env, budget, search.SAConfig{}, rng)
+	case MethodRL:
+		policy := rl.NewPolicy(policyCfg, rng)
+		trainer := rl.NewTrainer(policy, ppoCfg, rng)
+		trainer.TrainUntil([]*rl.Env{env}, budget)
+	case MethodZeroshot:
+		policy := rl.NewPolicy(policyCfg, rng)
+		if err := policy.Restore(pre.Best()); err != nil {
+			return err
+		}
+		rl.ZeroShot(policy, env, budget, rng)
+	case MethodFinetuning:
+		policy := rl.NewPolicy(policyCfg, rng)
+		if err := policy.Restore(pre.Best()); err != nil {
+			return err
+		}
+		rl.FineTune(policy, env, ppoCfg, budget, rng)
+	default:
+		return fmt.Errorf("unknown method %q", m)
+	}
+	return nil
+}
+
+// Format prints the Figure 5 series at a few sample points plus the final
+// geomean improvements.
+func (r *Fig5Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: geomean throughput improvement over the greedy heuristic\n")
+	fmt.Fprintf(&b, "(test graphs, analytical cost model, budget %d samples)\n\n", r.Cfg.SampleBudget)
+	points := samplePoints(r.Cfg.SampleBudget)
+	fmt.Fprintf(&b, "%-14s", "# samples")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10d", p)
+	}
+	b.WriteByte('\n')
+	for _, m := range Methods {
+		fmt.Fprintf(&b, "%-14s", m)
+		for _, p := range points {
+			fmt.Fprintf(&b, "%10.3f", r.Curves[m][p-1])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	for _, m := range Methods {
+		fmt.Fprintf(&b, "final %-14s %.3fx\n", m, r.Final[m])
+	}
+	return b.String()
+}
+
+// samplePoints picks representative x-axis points for text output.
+func samplePoints(budget int) []int {
+	raw := []int{budget / 20, budget / 8, budget / 4, budget / 2, 3 * budget / 4, budget}
+	var pts []int
+	for _, p := range raw {
+		if p >= 1 && (len(pts) == 0 || p > pts[len(pts)-1]) {
+			pts = append(pts, p)
+		}
+	}
+	sort.Ints(pts)
+	return pts
+}
+
+// Table2Thresholds are the geomean improvement levels of Table 2.
+var Table2Thresholds = []float64{1.60, 1.70, 1.80}
+
+// ThresholdTable is the generic form of Tables 2 and 3: the number of
+// samples each method needs to reach each threshold, and the reduction
+// factor relative to RL trained from scratch (N.A. when never reached).
+type ThresholdTable struct {
+	Thresholds []float64
+	// Samples[m][i] is the 1-based sample count, or -1 for never.
+	Samples map[Method][]int
+}
+
+// NewThresholdTable derives the table from per-method geomean curves.
+func NewThresholdTable(curves map[Method][]float64, thresholds []float64) *ThresholdTable {
+	t := &ThresholdTable{Thresholds: thresholds, Samples: make(map[Method][]int)}
+	for _, m := range Methods {
+		row := make([]int, len(thresholds))
+		for i, th := range thresholds {
+			row[i] = stats.FirstReached(curves[m], th)
+		}
+		t.Samples[m] = row
+	}
+	return t
+}
+
+// Format prints the table in the paper's "samples (reduction x)" form.
+func (t *ThresholdTable) Format(caption string) string {
+	var b strings.Builder
+	b.WriteString(caption)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s", "method")
+	for _, th := range t.Thresholds {
+		fmt.Fprintf(&b, "%18s", fmt.Sprintf(">= %.2fx", th))
+	}
+	b.WriteByte('\n')
+	rlRow := t.Samples[MethodRL]
+	for _, m := range Methods {
+		fmt.Fprintf(&b, "%-14s", m)
+		for i, s := range t.Samples[m] {
+			if s < 0 {
+				fmt.Fprintf(&b, "%18s", "N.A. (N.A.)")
+				continue
+			}
+			if rlRow[i] > 0 {
+				fmt.Fprintf(&b, "%18s", fmt.Sprintf("%d (%.2fx)", s, float64(rlRow[i])/float64(s)))
+			} else {
+				fmt.Fprintf(&b, "%18s", fmt.Sprintf("%d (N.A.)", s))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table2 derives Table 2 from a Figure 5 run, using thresholds adapted to
+// the measured improvement range when the paper's absolute levels are out
+// of reach for the simulated substrate (the reduction factors, not the
+// absolute levels, are the reproduction target).
+func Table2(r *Fig5Result) *ThresholdTable {
+	return NewThresholdTable(r.Curves, adaptThresholds(r.Curves, Table2Thresholds))
+}
+
+// adaptThresholds keeps the paper's thresholds when they discriminate on
+// the measured curves (above the first-sample level, reached by at least one
+// method); otherwise it rescales them into the measured range (50%, 75% and
+// 95% of the way from the first sample's level to the best final level).
+// The paper's absolute levels depend on its proprietary platform; the
+// reproduction target for Tables 2 and 3 is the sample-reduction factors.
+func adaptThresholds(curves map[Method][]float64, paper []float64) []float64 {
+	var lo, hi float64
+	reached := 0
+	for _, m := range Methods {
+		c := curves[m]
+		if len(c) == 0 {
+			continue
+		}
+		if lo == 0 || c[0] < lo {
+			lo = c[0]
+		}
+		if c[len(c)-1] > hi {
+			hi = c[len(c)-1]
+		}
+		for _, th := range paper {
+			if c[len(c)-1] >= th {
+				reached++
+			}
+		}
+	}
+	discriminating := reached >= len(paper)
+	for _, th := range paper {
+		if th <= lo {
+			discriminating = false // trivially reached at the first sample
+		}
+	}
+	if discriminating {
+		return paper
+	}
+	fracs := []float64{0.5, 0.75, 0.95}
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		out[i] = lo + f*(hi-lo)
+	}
+	return out
+}

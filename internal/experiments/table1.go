@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/workload"
+)
+
+// Table1Result backs the paper's qualitative comparison (Table 1) with
+// measured evidence from this repository: the validity rate of raw policy
+// samples versus solver-corrected ones, and time-to-solution of the solver
+// path.
+type Table1Result struct {
+	// RawValidPct is the share of uniform random assignments that satisfy
+	// all static constraints without the solver — the reason pure RL
+	// "fails due to insufficient valid samples".
+	RawValidPct float64
+	// SolverValidPct is the share of solver-emitted partitions that are
+	// valid (always 100 by construction; measured as an invariant).
+	SolverValidPct float64
+	// SolverMsPerSample is the measured time to produce one valid
+	// partition through the solver.
+	SolverMsPerSample float64
+}
+
+// Table1 measures the evidence on a mid-size corpus graph over the Edge36
+// package.
+func Table1(seed int64, samples int) (*Table1Result, error) {
+	if samples <= 0 {
+		samples = 200
+	}
+	pkg := mcm.Edge36()
+	g := workload.CorpusGraphs(seed)[1] // a residual CNN: skip edges galore
+	rng := rand.New(rand.NewSource(seed))
+	res := &Table1Result{}
+
+	rawValid := 0
+	y := make(partition.Partition, g.NumNodes())
+	for i := 0; i < samples; i++ {
+		for j := range y {
+			y[j] = rng.Intn(pkg.Chips)
+		}
+		if y.Validate(g, pkg.Chips) == nil {
+			rawValid++
+		}
+	}
+	res.RawValidPct = 100 * float64(rawValid) / float64(samples)
+
+	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	solverValid := 0
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		p, err := pr.SampleMode(nil, rng)
+		if err == nil && p.Validate(g, pkg.Chips) == nil {
+			solverValid++
+		}
+	}
+	res.SolverMsPerSample = float64(time.Since(start).Milliseconds()) / float64(samples)
+	res.SolverValidPct = 100 * float64(solverValid) / float64(samples)
+	return res, nil
+}
+
+// Format prints Table 1 with the measured evidence appended.
+func (r *Table1Result) Format() string {
+	var b strings.Builder
+	b.WriteString(`Table 1: comparison of partitioning approaches
+                       CPS    CH     RL     CPS+S  CPS+RL (this work)
+static constraints     yes    yes    no     yes    yes
+dynamic constraints    no     yes    no     yes    yes
+needs closed-form perf yes    no     no     no     no
+solution quality       n.a.   low    n.a.   medium high
+time to solution       n.a.   fast   n.a.   slow   fast
+
+`)
+	fmt.Fprintf(&b, "measured evidence (residual CNN on edge36):\n")
+	fmt.Fprintf(&b, "  raw uniform assignments valid: %.2f%% (why RL alone sees no reward)\n", r.RawValidPct)
+	fmt.Fprintf(&b, "  solver-corrected samples valid: %.1f%%\n", r.SolverValidPct)
+	fmt.Fprintf(&b, "  solver time per valid sample: %.2f ms\n", r.SolverMsPerSample)
+	return b.String()
+}

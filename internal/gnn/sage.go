@@ -1,0 +1,143 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmpart/internal/mat"
+	"mcmpart/internal/nn"
+)
+
+// SAGE is a stack of GraphSAGE layers with mean aggregation:
+//
+//	h^{l+1} = ReLU(h^l W_self + mean_{u in N(v)} h^l_u W_neigh + b)
+//
+// Forward caches all intermediates so Backward can accumulate exact
+// gradients for end-to-end training with the policy head.
+type SAGE struct {
+	InDim, Hidden, Depth int
+
+	wSelf, wNeigh, bias []*nn.Param
+
+	// Per-forward caches, reallocated when the node count changes.
+	n    int
+	ins  []*mat.Dense // input to each layer (ins[0] = x)
+	aggs []*mat.Dense // aggregated neighbor features per layer
+	outs []*mat.Dense // post-activation output per layer
+	// Scratch buffers for backprop.
+	dz, dAgg, dIn *mat.Dense
+	adj           *Adjacency
+}
+
+// NewSAGE builds a GraphSAGE encoder with the given input width, hidden
+// width and depth. The paper's default is depth 8, hidden 128.
+func NewSAGE(inDim, hidden, depth int, rng *rand.Rand) *SAGE {
+	if depth < 1 {
+		panic(fmt.Sprintf("gnn: depth %d < 1", depth))
+	}
+	s := &SAGE{InDim: inDim, Hidden: hidden, Depth: depth}
+	for l := 0; l < depth; l++ {
+		in := hidden
+		if l == 0 {
+			in = inDim
+		}
+		ws := &nn.Param{Name: fmt.Sprintf("sage%d.self", l), Value: mat.New(in, hidden), Grad: mat.New(in, hidden)}
+		wn := &nn.Param{Name: fmt.Sprintf("sage%d.neigh", l), Value: mat.New(in, hidden), Grad: mat.New(in, hidden)}
+		b := &nn.Param{Name: fmt.Sprintf("sage%d.bias", l), Value: mat.New(1, hidden), Grad: mat.New(1, hidden)}
+		ws.Value.XavierInit(rng)
+		wn.Value.XavierInit(rng)
+		s.wSelf = append(s.wSelf, ws)
+		s.wNeigh = append(s.wNeigh, wn)
+		s.bias = append(s.bias, b)
+	}
+	return s
+}
+
+// Params returns all trainable parameters.
+func (s *SAGE) Params() []*nn.Param {
+	out := make([]*nn.Param, 0, 3*s.Depth)
+	for l := 0; l < s.Depth; l++ {
+		out = append(out, s.wSelf[l], s.wNeigh[l], s.bias[l])
+	}
+	return out
+}
+
+// ensure sizes the cache buffers for n nodes.
+func (s *SAGE) ensure(n int) {
+	if s.n == n {
+		return
+	}
+	s.n = n
+	s.ins = make([]*mat.Dense, s.Depth+1)
+	s.aggs = make([]*mat.Dense, s.Depth)
+	s.outs = make([]*mat.Dense, s.Depth)
+	for l := 0; l < s.Depth; l++ {
+		in := s.Hidden
+		if l == 0 {
+			in = s.InDim
+		}
+		s.aggs[l] = mat.New(n, in)
+		s.outs[l] = mat.New(n, s.Hidden)
+	}
+	s.dz = mat.New(n, s.Hidden)
+	s.dAgg = mat.New(n, s.Hidden) // resized per layer in Backward when needed
+	s.dIn = mat.New(n, s.Hidden)
+}
+
+// Forward encodes the node features x (N x InDim) over the adjacency and
+// returns the N x Hidden embedding matrix. The returned matrix is owned by
+// the encoder and valid until the next Forward.
+func (s *SAGE) Forward(adj *Adjacency, x *mat.Dense) *mat.Dense {
+	n := x.Rows
+	s.ensure(n)
+	s.adj = adj
+	s.ins[0] = x
+	h := x
+	for l := 0; l < s.Depth; l++ {
+		agg := s.aggs[l]
+		adj.aggregate(agg, h)
+		out := s.outs[l]
+		mat.Mul(out, h, s.wSelf[l].Value)
+		tmp := mat.New(n, s.Hidden)
+		mat.Mul(tmp, agg, s.wNeigh[l].Value)
+		out.Add(tmp)
+		out.AddRowVector(s.bias[l].Value.Data)
+		nn.ReLU(out, out)
+		s.ins[l+1] = out
+		h = out
+	}
+	return h
+}
+
+// Backward accumulates parameter gradients given the gradient of the loss
+// with respect to the final embeddings. It must follow a Forward on the
+// same inputs. dOut is consumed (overwritten).
+func (s *SAGE) Backward(dOut *mat.Dense) {
+	n := s.n
+	d := dOut
+	scratch := mat.New(n, s.Hidden)
+	for l := s.Depth - 1; l >= 0; l-- {
+		inDim := s.Hidden
+		if l == 0 {
+			inDim = s.InDim
+		}
+		// Through the ReLU.
+		nn.ReLUBackward(s.dz, d, s.outs[l])
+		// Parameter gradients.
+		wsg := mat.New(inDim, s.Hidden)
+		mat.MulATB(wsg, s.ins[l], s.dz)
+		s.wSelf[l].Grad.Add(wsg)
+		mat.MulATB(wsg, s.aggs[l], s.dz)
+		s.wNeigh[l].Grad.Add(wsg)
+		s.dz.ColSums(s.bias[l].Grad.Data)
+		if l == 0 {
+			return // input features are static; no gradient needed
+		}
+		// Input gradient: dIn = dz @ Wselfᵀ + Aᵀ(dz @ Wneighᵀ).
+		dIn := mat.New(n, inDim)
+		mat.MulABT(dIn, s.dz, s.wSelf[l].Value)
+		mat.MulABT(scratch, s.dz, s.wNeigh[l].Value)
+		s.adj.scatterAdd(dIn, scratch)
+		d = dIn
+	}
+}

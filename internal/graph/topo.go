@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// ErrCycle is returned when a graph that must be acyclic contains a cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// intHeap is a min-heap of node IDs used to make the topological order
+// deterministic (smallest ready ID first).
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopoOrder returns a deterministic topological order of the nodes (Kahn's
+// algorithm, smallest-ID-first among ready nodes) or ErrCycle if the graph is
+// not a DAG.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.inEdges[v])
+	}
+	h := &intHeap{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			*h = append(*h, v)
+		}
+	}
+	heap.Init(h)
+	order := make([]int, 0, n)
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int)
+		order = append(order, v)
+		for _, e := range g.outEdges[v] {
+			w := g.edges[e].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				heap.Push(h, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Graph) IsDAG() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// Depths returns, for every node, the length of the longest path from any
+// source (in-degree-zero node) to it, in edges. Sources have depth 0.
+// It returns an error if the graph has a cycle.
+//
+// Depth normalized by the maximum depth is the "pipeline position" feature
+// used by the policy network: nodes early in the dataflow should gravitate to
+// low chip IDs and late nodes to high chip IDs.
+func (g *Graph) Depths() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(g.nodes))
+	for _, v := range order {
+		for _, e := range g.outEdges[v] {
+			w := g.edges[e].To
+			if d := depth[v] + 1; d > depth[w] {
+				depth[w] = d
+			}
+		}
+	}
+	return depth, nil
+}
+
+// CriticalPathFLOPs returns the maximum total FLOPs along any source-to-sink
+// path. It is a lower bound on latency regardless of partitioning and is
+// used by the cost models for normalization.
+func (g *Graph) CriticalPathFLOPs() (float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	best := make([]float64, len(g.nodes))
+	var max float64
+	for _, v := range order {
+		best[v] += g.nodes[v].FLOPs
+		if best[v] > max {
+			max = best[v]
+		}
+		for _, e := range g.outEdges[v] {
+			w := g.edges[e].To
+			if best[v] > best[w] {
+				best[w] = best[v]
+			}
+		}
+	}
+	return max, nil
+}
+
+// Sources returns the IDs of nodes with no predecessors, in ID order.
+func (g *Graph) Sources() []int {
+	var src []int
+	for v := range g.nodes {
+		if len(g.inEdges[v]) == 0 {
+			src = append(src, v)
+		}
+	}
+	return src
+}
+
+// Sinks returns the IDs of nodes with no successors, in ID order.
+func (g *Graph) Sinks() []int {
+	var snk []int
+	for v := range g.nodes {
+		if len(g.outEdges[v]) == 0 {
+			snk = append(snk, v)
+		}
+	}
+	return snk
+}

@@ -1,0 +1,294 @@
+// Package hwsim simulates the paper's evaluation platform: a multi-chip TPU
+// package running a partitioned tensor graph as a pipeline. It stands in for
+// the real hardware of Sec. 5 (proprietary; see DESIGN.md) and plays two
+// roles:
+//
+//   - it measures T(G,f), the steady-state throughput of a partition,
+//     modeling per-operator efficiencies, per-op dispatch overhead, and
+//     ring-link contention that the analytical cost model ignores;
+//   - it decides H(G,f), the dynamic constraint: the compiler backend's
+//     list schedule must fit each chip's SRAM, or the partition fails with
+//     zero throughput, exactly as the paper's platform behaves ("our
+//     evaluation platform returns a zero throughput when it evaluates an
+//     invalid partition").
+//
+// Measurements carry deterministic, seed-derived noise so repeated runs
+// reproduce the paper's mean-and-standard-deviation methodology without
+// real nondeterminism.
+package hwsim
+
+import (
+	"hash/fnv"
+	"math"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/sched"
+)
+
+// opEfficiency is the fraction of a chiplet's peak FLOP rate each operator
+// kind sustains. Dense contractions run near peak; memory-bound elementwise
+// and normalization traffic runs far below it; data-movement ops cost only
+// dispatch overhead. The analytical model's flat-rate assumption is one of
+// the two gaps (with memory) between prediction and measurement.
+var opEfficiency = [graph.NumOpKinds]float64{
+	graph.OpInput:         0,
+	graph.OpConst:         0,
+	graph.OpConv:          0.85,
+	graph.OpDepthwiseConv: 0.45,
+	graph.OpMatMul:        0.85,
+	graph.OpPool:          0.10,
+	graph.OpActivation:    0.08,
+	graph.OpElementwise:   0.08,
+	graph.OpNorm:          0.08,
+	graph.OpSoftmax:       0.06,
+	graph.OpEmbedding:     0.25,
+	graph.OpReshape:       0,
+	graph.OpConcat:        0,
+	graph.OpSplit:         0,
+	graph.OpReduce:        0.08,
+	graph.OpOutput:        0,
+}
+
+// Options tune the simulator.
+type Options struct {
+	// Seed derives the deterministic measurement noise. Different seeds
+	// model different "runs" of the same binary on hardware.
+	Seed int64
+	// NoiseStd is the relative standard deviation of measurement noise
+	// (default 0.02).
+	NoiseStd float64
+	// PipelineFactor multiplies peak activation memory to model
+	// steady-state pipeline buffering (default 1.5).
+	PipelineFactor float64
+	// OpOverhead is the fixed per-op dispatch time in seconds
+	// (default 200ns).
+	OpOverhead float64
+	// PressureKnee and PressureSlope model allocator pressure: a chip
+	// whose SRAM utilization exceeds the knee runs its compute slower by
+	// slope * (utilization - knee). This is one of the dynamic effects
+	// the analytical cost model cannot see (Sec. 5.4's false positives:
+	// partitions that look fast analytically but sit at the memory edge).
+	// Defaults: knee 0.75, slope 2.
+	PressureKnee, PressureSlope float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NoiseStd == 0 {
+		o.NoiseStd = 0.02
+	}
+	if o.PipelineFactor == 0 {
+		o.PipelineFactor = 1.5
+	}
+	if o.OpOverhead == 0 {
+		o.OpOverhead = 200e-9
+	}
+	if o.PressureKnee == 0 {
+		o.PressureKnee = 0.75
+	}
+	if o.PressureSlope == 0 {
+		o.PressureSlope = 2
+	}
+	return o
+}
+
+// Simulator evaluates partitions on a simulated MCM package.
+type Simulator struct {
+	pkg  *mcm.Package
+	opts Options
+}
+
+// New returns a simulator of the package.
+func New(pkg *mcm.Package, opts Options) *Simulator {
+	return &Simulator{pkg: pkg, opts: opts.withDefaults()}
+}
+
+// Package returns the simulated package.
+func (s *Simulator) Package() *mcm.Package { return s.pkg }
+
+// Result is the outcome of running one partition.
+type Result struct {
+	// Valid reports H(G,f): false means the compiler backend rejected the
+	// partition (today: a chip's working set exceeds SRAM).
+	Valid bool
+	// FailReason describes why Valid is false.
+	FailReason string
+	// Interval is the steady-state pipeline interval in seconds.
+	Interval float64
+	// Throughput is 1/Interval (0 when invalid).
+	Throughput float64
+	// ChipBusy and LinkBusy are per-chip compute and per-link transfer
+	// times per interval; the bottleneck defines the interval.
+	ChipBusy []float64
+	LinkBusy []float64
+	// PeakMem is each chip's SRAM demand in bytes.
+	PeakMem []int64
+}
+
+// opTime returns the simulated execution time of one node.
+func (s *Simulator) opTime(n graph.Node) float64 {
+	eff := 0.0
+	if int(n.Op) < len(opEfficiency) {
+		eff = opEfficiency[n.Op]
+	}
+	t := s.opts.OpOverhead
+	if eff > 0 && n.FLOPs > 0 {
+		t += n.FLOPs / (s.pkg.PeakFLOPs * eff)
+	}
+	return t
+}
+
+// Evaluate runs the partition without measurement noise. The partition must
+// already satisfy the static constraints; the simulator checks only the
+// dynamic ones (it is the stage after the solver in the compilation flow).
+func (s *Simulator) Evaluate(g *graph.Graph, p partition.Partition) Result {
+	chips := s.pkg.Chips
+	res := Result{
+		ChipBusy: make([]float64, chips),
+		PeakMem:  make([]int64, chips),
+	}
+	scheds, err := sched.Compute(g, p, chips)
+	if err != nil {
+		res.FailReason = err.Error()
+		return res
+	}
+	// Dynamic constraint: every chip's schedule must fit in SRAM.
+	for c := range scheds {
+		res.PeakMem[c] = scheds[c].PeakBytes(s.opts.PipelineFactor)
+		if res.PeakMem[c] > s.pkg.SRAMBytes {
+			res.FailReason = "out of memory on chip"
+			return res
+		}
+	}
+	// Compute time per chip, slowed by allocator pressure near the
+	// memory limit.
+	for c := range scheds {
+		for _, v := range scheds[c].Ops {
+			res.ChipBusy[c] += s.opTime(g.Node(v))
+		}
+		util := float64(res.PeakMem[c]) / float64(s.pkg.SRAMBytes)
+		if util > s.opts.PressureKnee {
+			res.ChipBusy[c] *= 1 + s.opts.PressureSlope*(util-s.opts.PressureKnee)
+		}
+	}
+	// Link contention: a transfer from chip a to chip b occupies every
+	// ring link in between for its serialization time.
+	if chips > 1 {
+		res.LinkBusy = make([]float64, chips-1)
+		for _, e := range g.Edges() {
+			a, b := p[e.From], p[e.To]
+			if a == b {
+				continue
+			}
+			per := s.pkg.LinkLatency + float64(e.Bytes)/s.pkg.LinkBandwidth
+			for l := a; l < b; l++ {
+				res.LinkBusy[l] += per
+			}
+		}
+	}
+	// The pipeline interval is set by the busiest resource.
+	interval := 0.0
+	for _, t := range res.ChipBusy {
+		if t > interval {
+			interval = t
+		}
+	}
+	for _, t := range res.LinkBusy {
+		if t > interval {
+			interval = t
+		}
+	}
+	if interval <= 0 {
+		res.FailReason = "empty graph"
+		return res
+	}
+	res.Valid = true
+	res.Interval = interval
+	res.Throughput = 1 / interval
+	return res
+}
+
+// Measure runs the partition once with deterministic measurement noise, as
+// one "hardware run". run distinguishes repeated measurements of the same
+// partition.
+func (s *Simulator) Measure(g *graph.Graph, p partition.Partition, run int) Result {
+	res := s.Evaluate(g, p)
+	if !res.Valid {
+		return res
+	}
+	noise := 1 + s.opts.NoiseStd*gaussian(s.noiseSeed(p, run))
+	if noise < 0.5 {
+		noise = 0.5
+	}
+	res.Interval *= noise
+	res.Throughput = 1 / res.Interval
+	return res
+}
+
+// MeasureN runs the partition the given number of times and returns the
+// mean and standard deviation of throughput, mirroring the paper's
+// five-run methodology. Invalid partitions return (0, 0, false).
+func (s *Simulator) MeasureN(g *graph.Graph, p partition.Partition, runs int) (mean, std float64, valid bool) {
+	if runs <= 0 {
+		runs = 1
+	}
+	var sum, sumSq float64
+	for r := 0; r < runs; r++ {
+		res := s.Measure(g, p, r)
+		if !res.Valid {
+			return 0, 0, false
+		}
+		sum += res.Throughput
+		sumSq += res.Throughput * res.Throughput
+	}
+	mean = sum / float64(runs)
+	variance := sumSq/float64(runs) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance), true
+}
+
+// EvaluateThroughput implements the evaluation-environment contract shared
+// with the analytical model: measured throughput (run 0) and dynamic
+// validity.
+func (s *Simulator) EvaluateThroughput(g *graph.Graph, p partition.Partition) (float64, bool) {
+	res := s.Measure(g, p, 0)
+	return res.Throughput, res.Valid
+}
+
+// noiseSeed hashes the partition content, simulator seed and run index into
+// a deterministic noise source.
+func (s *Simulator) noiseSeed(p partition.Partition, run int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(s.opts.Seed))
+	put(uint64(run))
+	for _, c := range p {
+		put(uint64(c))
+	}
+	return h.Sum64()
+}
+
+// gaussian turns a hash into a standard normal sample via Box-Muller on two
+// derived uniforms.
+func gaussian(seed uint64) float64 {
+	// SplitMix64 steps for two independent uniforms.
+	next := func() float64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return (float64(z>>11) + 0.5) / (1 << 53)
+	}
+	u1, u2 := next(), next()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,202 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/workload"
+)
+
+func pipelineGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("pipe")
+	for i := 0; i < 8; i++ {
+		g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e9, ParamBytes: 1 << 20, OutputBytes: 1 << 18})
+		if i > 0 {
+			g.MustAddEdge(i-1, i, 1<<18)
+		}
+	}
+	return g
+}
+
+func TestEvaluateValidPartition(t *testing.T) {
+	sim := New(mcm.Dev4(), Options{})
+	g := pipelineGraph(t)
+	p := partition.Partition{0, 0, 1, 1, 2, 2, 3, 3}
+	res := sim.Evaluate(g, p)
+	if !res.Valid {
+		t.Fatalf("partition should be valid: %s", res.FailReason)
+	}
+	if res.Throughput <= 0 || res.Interval <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if 1/res.Interval != res.Throughput {
+		t.Fatalf("throughput != 1/interval")
+	}
+}
+
+func TestBalancedBeatsSkewed(t *testing.T) {
+	sim := New(mcm.Dev4(), Options{})
+	g := pipelineGraph(t)
+	balanced := sim.Evaluate(g, partition.Partition{0, 0, 1, 1, 2, 2, 3, 3})
+	skewed := sim.Evaluate(g, partition.Partition{0, 0, 0, 0, 0, 1, 2, 3})
+	if !balanced.Valid || !skewed.Valid {
+		t.Fatal("both partitions should be valid")
+	}
+	if balanced.Throughput <= skewed.Throughput {
+		t.Fatalf("balanced %v should beat skewed %v", balanced.Throughput, skewed.Throughput)
+	}
+}
+
+func TestDynamicConstraintOOM(t *testing.T) {
+	pkg := mcm.Dev4() // 8 MiB SRAM per chip
+	sim := New(pkg, Options{})
+	g := graph.New("fat")
+	// Two ops, 6 MiB of weights each: together they exceed one chip.
+	for i := 0; i < 2; i++ {
+		g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e9, ParamBytes: 6 << 20, OutputBytes: 1 << 10})
+	}
+	g.MustAddEdge(0, 1, 1<<10)
+	oneChip := sim.Evaluate(g, partition.Partition{0, 0})
+	if oneChip.Valid {
+		t.Fatal("12 MiB of weights on an 8 MiB chip should OOM")
+	}
+	if oneChip.Throughput != 0 {
+		t.Fatalf("invalid partition must report zero throughput, got %v", oneChip.Throughput)
+	}
+	split := sim.Evaluate(g, partition.Partition{0, 1})
+	if !split.Valid {
+		t.Fatalf("split should fit: %s", split.FailReason)
+	}
+}
+
+func TestLinkContentionRaisesInterval(t *testing.T) {
+	pkg := mcm.Dev4()
+	sim := New(pkg, Options{})
+	// Two parallel chains, both crossing from chip side 0/1 to 2/3 with
+	// big tensors: the middle link sees both transfers.
+	g := graph.New("contend")
+	a0 := g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, OutputBytes: 2 << 20})
+	a1 := g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, OutputBytes: 1})
+	b0 := g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, OutputBytes: 2 << 20})
+	b1 := g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, OutputBytes: 1})
+	g.MustAddEdge(a0, a1, 2<<20)
+	g.MustAddEdge(b0, b1, 2<<20)
+	p := partition.Partition{0, 2, 1, 3}
+	res := sim.Evaluate(g, p)
+	if !res.Valid {
+		t.Fatalf("unexpected failure: %s", res.FailReason)
+	}
+	// Link 1 carries both 2 MiB transfers.
+	perTransfer := pkg.LinkLatency + float64(2<<20)/pkg.LinkBandwidth
+	if res.LinkBusy[1] < 2*perTransfer*0.99 {
+		t.Fatalf("middle link busy = %v, want ~%v", res.LinkBusy[1], 2*perTransfer)
+	}
+	if res.Interval < res.LinkBusy[1] {
+		t.Fatal("interval should be at least the bottleneck link time")
+	}
+}
+
+func TestMeasureNoiseDeterministicAndCentered(t *testing.T) {
+	sim := New(mcm.Dev4(), Options{Seed: 7, NoiseStd: 0.05})
+	g := pipelineGraph(t)
+	p := partition.Partition{0, 0, 1, 1, 2, 2, 3, 3}
+	a := sim.Measure(g, p, 0)
+	b := sim.Measure(g, p, 0)
+	if a.Throughput != b.Throughput {
+		t.Fatal("same run index must reproduce exactly")
+	}
+	c := sim.Measure(g, p, 1)
+	if a.Throughput == c.Throughput {
+		t.Fatal("different runs should see different noise")
+	}
+	base := sim.Evaluate(g, p)
+	mean, std, valid := sim.MeasureN(g, p, 50)
+	if !valid {
+		t.Fatal("MeasureN should be valid")
+	}
+	if std <= 0 {
+		t.Fatal("noise should produce nonzero std")
+	}
+	if math.Abs(mean-base.Throughput)/base.Throughput > 0.05 {
+		t.Fatalf("mean %v too far from noise-free %v", mean, base.Throughput)
+	}
+}
+
+func TestMeasureNInvalid(t *testing.T) {
+	sim := New(mcm.Dev4(), Options{})
+	g := graph.New("fat")
+	g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1, ParamBytes: 100 << 20, OutputBytes: 1})
+	if _, _, valid := sim.MeasureN(g, partition.Partition{0}, 5); valid {
+		t.Fatal("oversized op can never fit")
+	}
+}
+
+func TestEfficiencyDifferentiatesOps(t *testing.T) {
+	sim := New(mcm.Dev4(), Options{})
+	mk := func(kind graph.OpKind) float64 {
+		g := graph.New("k")
+		g.AddNode(graph.Node{Op: kind, FLOPs: 1e9, OutputBytes: 1})
+		res := sim.Evaluate(g, partition.Partition{0})
+		return res.Interval
+	}
+	if mk(graph.OpElementwise) <= mk(graph.OpMatMul) {
+		t.Fatal("memory-bound elementwise work should be slower per FLOP than matmul")
+	}
+}
+
+func TestEvaluateThroughputContract(t *testing.T) {
+	sim := New(mcm.Dev4(), Options{})
+	g := pipelineGraph(t)
+	th, valid := sim.EvaluateThroughput(g, partition.Partition{0, 0, 1, 1, 2, 2, 3, 3})
+	if !valid || th <= 0 {
+		t.Fatalf("EvaluateThroughput = (%v,%v)", th, valid)
+	}
+}
+
+func TestBERTFitsWhenBalanced(t *testing.T) {
+	g := workload.BERT()
+	pkg := mcm.Edge36()
+	sim := New(pkg, Options{})
+	// A parameter-balanced contiguous split should fit in SRAM.
+	remaining := g.TotalParamBytes()
+	p := make(partition.Partition, g.NumNodes())
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := 0
+	var acc int64
+	for _, v := range order {
+		// Equal share of what is left over the chips that are left.
+		target := remaining / int64(36-chip)
+		if acc+g.Node(v).ParamBytes > target && chip < 35 {
+			chip++
+			remaining -= acc
+			acc = 0
+		}
+		p[v] = chip
+		acc += g.Node(v).ParamBytes
+	}
+	res := sim.Evaluate(g, p)
+	if !res.Valid {
+		t.Fatalf("balanced BERT split should fit: %s (peak %v MiB)", res.FailReason, res.PeakMem)
+	}
+	// And an everything-on-three-chips split must OOM.
+	for i := range p {
+		p[i] = min3(p[i], 2)
+	}
+	if res := sim.Evaluate(g, p); res.Valid {
+		t.Fatal("600 MiB of weights on 3 chips must OOM")
+	}
+}
+
+func min3(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

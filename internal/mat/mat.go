@@ -1,0 +1,204 @@
+// Package mat provides the small dense-matrix kernel the learning stack is
+// built on: row-major float64 matrices with the handful of operations a
+// GraphSAGE encoder, feed-forward heads and Adam need. Everything is
+// allocation-explicit — callers own output buffers — so training loops can
+// run allocation-free after warm-up.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols, row-major) without copying.
+func FromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at (r, c).
+func (m *Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set writes the element at (r, c).
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Dense) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Zero sets every element to zero.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	m.mustSameShape(src)
+	copy(m.Data, src.Data)
+}
+
+func (m *Dense) mustSameShape(o *Dense) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Mul computes out = a @ b. out must be preallocated a.Rows x b.Cols and is
+// overwritten. The i-k-j loop order keeps the inner loop sequential over
+// both b and out for cache friendliness.
+func Mul(out, a, b *Dense) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		or := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulATB computes out = aᵀ @ b (a is k x m, b is k x n, out is m x n).
+func MulATB(out, a, b *Dense) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulATB shape mismatch (%dx%d)ᵀ@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Data[k*a.Cols : (k+1)*a.Cols]
+		br := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulABT computes out = a @ bᵀ (a is m x k, b is n x k, out is m x n).
+func MulABT(out, a, b *Dense) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulABT shape mismatch (%dx%d)@(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+		or := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			br := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k, av := range ar {
+				sum += av * br[k]
+			}
+			or[j] = sum
+		}
+	}
+}
+
+// Add computes m += o elementwise.
+func (m *Dense) Add(o *Dense) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled computes m += s * o elementwise.
+func (m *Dense) AddScaled(s float64, o *Dense) {
+	m.mustSameShape(o)
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddRowVector adds the vector v (length Cols) to every row.
+func (m *Dense) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVector %d values for %d cols", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, x := range v {
+			row[j] += x
+		}
+	}
+}
+
+// ColSums accumulates the column sums of m into out (length Cols).
+func (m *Dense) ColSums(out []float64) {
+	if len(out) != m.Cols {
+		panic(fmt.Sprintf("mat: ColSums %d values for %d cols", len(out), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, x := range row {
+			out[j] += x
+		}
+	}
+}
+
+// XavierInit fills m with Glorot-uniform values for a fan-in x fan-out
+// weight matrix.
+func (m *Dense) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// MaxAbs returns the largest absolute element (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}

@@ -1,0 +1,153 @@
+// Package mcm describes the target hardware: a multi-chip-module (MCM)
+// package of identical accelerator chiplets joined by a uni-directional
+// inter-chip ring, as in the multi-chip TPU the paper targets (Dasari et al.,
+// US patent 10,936,942).
+//
+// The descriptor exposes exactly the quantities the paper's formulation and
+// cost models depend on: the number of chips C (the action space of the
+// partitioner), per-chip SRAM (the dynamic memory constraint), per-chip
+// compute rate, and link bandwidth/latency (inter-chip communication cost).
+// The real hardware is proprietary; every experiment in this repository runs
+// against this descriptor plus the simulator in internal/hwsim.
+package mcm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package describes an MCM accelerator package.
+type Package struct {
+	// Name labels the configuration, e.g. "edge36".
+	Name string `json:"name"`
+	// Chips is the number of chiplets C. Chip IDs are 0..Chips-1 and data
+	// may only flow from lower to higher IDs (uni-directional ring).
+	Chips int `json:"chips"`
+	// SRAMBytes is the on-chip memory of each chiplet. Weights of the ops
+	// placed on a chip plus live activations must fit in it.
+	SRAMBytes int64 `json:"sram_bytes"`
+	// PeakFLOPs is each chiplet's peak compute rate in FLOP/s.
+	PeakFLOPs float64 `json:"peak_flops"`
+	// LinkBandwidth is the bandwidth of each inter-chip link in bytes/s.
+	LinkBandwidth float64 `json:"link_bandwidth"`
+	// LinkLatency is the fixed per-hop transfer latency in seconds.
+	LinkLatency float64 `json:"link_latency"`
+}
+
+// Validate checks that the package parameters are physically meaningful.
+func (p *Package) Validate() error {
+	switch {
+	case p.Chips <= 0:
+		return fmt.Errorf("mcm: package %q has %d chips", p.Name, p.Chips)
+	case p.Chips > MaxChips:
+		return fmt.Errorf("mcm: package %q has %d chips; the solver supports at most %d", p.Name, p.Chips, MaxChips)
+	case p.SRAMBytes <= 0:
+		return fmt.Errorf("mcm: package %q has non-positive SRAM", p.Name)
+	case p.PeakFLOPs <= 0:
+		return fmt.Errorf("mcm: package %q has non-positive compute rate", p.Name)
+	case p.LinkBandwidth <= 0:
+		return fmt.Errorf("mcm: package %q has non-positive link bandwidth", p.Name)
+	case p.LinkLatency < 0:
+		return fmt.Errorf("mcm: package %q has negative link latency", p.Name)
+	}
+	return nil
+}
+
+// MaxChips is the largest chip count supported by the constraint solver's
+// bitset domains.
+const MaxChips = 64
+
+// ErrTooManyChips is returned when a package exceeds MaxChips.
+var ErrTooManyChips = errors.New("mcm: too many chips")
+
+// Hops returns the number of ring links a transfer from chip src to chip dst
+// traverses. Because links are uni-directional and data may only move to
+// higher chip IDs, Hops panics if dst < src; a partition that needs such a
+// transfer violates the acyclic dataflow constraint and should have been
+// rejected earlier.
+func (p *Package) Hops(src, dst int) int {
+	if dst < src {
+		panic(fmt.Sprintf("mcm: backwards transfer %d -> %d on uni-directional ring", src, dst))
+	}
+	return dst - src
+}
+
+// TransferTime returns the time to move the given number of bytes from chip
+// src to chip dst: per-hop latency plus store-and-forward serialization on
+// each traversed link. Transfers within a chip are free.
+func (p *Package) TransferTime(src, dst int, bytes int64) float64 {
+	hops := p.Hops(src, dst)
+	if hops == 0 || bytes == 0 {
+		return 0
+	}
+	return float64(hops) * (p.LinkLatency + float64(bytes)/p.LinkBandwidth)
+}
+
+// ComputeTime returns the ideal time to execute the given amount of work on
+// one chiplet at peak rate.
+func (p *Package) ComputeTime(flops float64) float64 {
+	return flops / p.PeakFLOPs
+}
+
+// String summarizes the package for logs.
+func (p *Package) String() string {
+	return fmt.Sprintf("%s(chips=%d sram=%dMiB peak=%.0fGFLOP/s link=%.0fGB/s)",
+		p.Name, p.Chips, p.SRAMBytes>>20, p.PeakFLOPs/1e9, p.LinkBandwidth/1e9)
+}
+
+// Edge36 returns the default 36-chiplet package modeled on the paper's
+// evaluation platform: 36 dies on a uni-directional ring, tens of MiB of
+// SRAM per die, and tens of GB/s of link bandwidth.
+func Edge36() *Package {
+	return &Package{
+		Name:      "edge36",
+		Chips:     36,
+		SRAMBytes: 76 << 20, // 76 MiB (tens of MBs; calibrated so the
+		// hardware-invalid rate of random valid partitions matches the
+		// paper's Sec. 5.4 measurement, see EXPERIMENTS.md)
+		PeakFLOPs:     4e12, // 4 TFLOP/s per die (edge-TPU class)
+		LinkBandwidth: 32e9, // 32 GB/s
+		LinkLatency:   1e-6, // 1 us per hop
+	}
+}
+
+// Dev4 returns a small 4-chip package matching Figure 2's running example.
+// It is the default for tests and the quickstart example.
+func Dev4() *Package {
+	return &Package{
+		Name:          "dev4",
+		Chips:         4,
+		SRAMBytes:     8 << 20,
+		PeakFLOPs:     1e12,
+		LinkBandwidth: 16e9,
+		LinkLatency:   1e-6,
+	}
+}
+
+// Dev8 returns an 8-chip package for mid-size tests and examples.
+func Dev8() *Package {
+	return &Package{
+		Name:          "dev8",
+		Chips:         8,
+		SRAMBytes:     16 << 20,
+		PeakFLOPs:     2e12,
+		LinkBandwidth: 24e9,
+		LinkLatency:   1e-6,
+	}
+}
+
+// Presets maps preset names accepted by the CLI tools to constructors.
+var Presets = map[string]func() *Package{
+	"edge36": Edge36,
+	"dev4":   Dev4,
+	"dev8":   Dev8,
+}
+
+// Preset returns the named preset package or an error listing valid names.
+func Preset(name string) (*Package, error) {
+	ctor, ok := Presets[name]
+	if !ok {
+		return nil, fmt.Errorf("mcm: unknown preset %q (valid: dev4, dev8, edge36)", name)
+	}
+	return ctor(), nil
+}

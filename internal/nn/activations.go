@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math"
+
+	"mcmpart/internal/mat"
+)
+
+// ReLU applies max(0, x) elementwise: out = relu(x). It caches nothing;
+// ReLUBackward takes the forward output.
+func ReLU(out, x *mat.Dense) {
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
+		}
+	}
+}
+
+// ReLUBackward overwrites dX with dOut masked by the forward output out.
+// dX and dOut may alias.
+func ReLUBackward(dX, dOut, out *mat.Dense) {
+	for i := range dOut.Data {
+		if out.Data[i] > 0 {
+			dX.Data[i] = dOut.Data[i]
+		} else {
+			dX.Data[i] = 0
+		}
+	}
+}
+
+// Tanh applies tanh elementwise: out = tanh(x).
+func Tanh(out, x *mat.Dense) {
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+}
+
+// TanhBackward overwrites dX with dOut * (1 - out^2). dX and dOut may alias.
+func TanhBackward(dX, dOut, out *mat.Dense) {
+	for i := range dOut.Data {
+		y := out.Data[i]
+		dX.Data[i] = dOut.Data[i] * (1 - y*y)
+	}
+}
+
+// SoftmaxRows writes the row-wise softmax of logits into out (they may
+// alias). Numerically stable (max-subtracted).
+func SoftmaxRows(out, logits *mat.Dense) {
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		o := out.Row(r)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			o[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+}
+
+// LogSoftmaxRows writes the row-wise log-softmax of logits into out (they
+// may alias).
+func LogSoftmaxRows(out, logits *mat.Dense) {
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		o := out.Row(r)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - max)
+		}
+		lse := max + math.Log(sum)
+		for j, v := range row {
+			o[j] = v - lse
+		}
+	}
+}

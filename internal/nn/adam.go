@@ -1,0 +1,66 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter list.
+type Adam struct {
+	// LR is the learning rate; Beta1/Beta2/Eps are the usual moment decay
+	// rates and stabilizer.
+	LR, Beta1, Beta2, Eps float64
+	// MaxGradNorm, when positive, clips the global gradient norm before
+	// each step (PPO stability).
+	MaxGradNorm float64
+
+	params []*Param
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam returns an optimizer over the parameters with standard defaults
+// (beta1 0.9, beta2 0.999, eps 1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Value.Data))
+		a.v[i] = make([]float64, len(p.Value.Data))
+	}
+	return a
+}
+
+// GradNorm returns the global L2 norm of all gradients.
+func (a *Adam) GradNorm() float64 {
+	var sq float64
+	for _, p := range a.params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// Step applies one Adam update from the accumulated gradients. It does not
+// zero the gradients; callers do that when starting the next accumulation.
+func (a *Adam) Step() {
+	scale := 1.0
+	if a.MaxGradNorm > 0 {
+		if norm := a.GradNorm(); norm > a.MaxGradNorm {
+			scale = a.MaxGradNorm / norm
+		}
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			g *= scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.Value.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

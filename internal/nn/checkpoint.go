@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot captures parameter values by name for checkpointing. Gradients
+// and optimizer state are not part of a snapshot: the pre-training pipeline
+// evaluates checkpoints with fresh optimizers, as the paper's validation
+// worker does.
+type Snapshot map[string][]float64
+
+// TakeSnapshot copies the current parameter values.
+func TakeSnapshot(params []*Param) Snapshot {
+	s := make(Snapshot, len(params))
+	for _, p := range params {
+		s[p.Name] = append([]float64(nil), p.Value.Data...)
+	}
+	return s
+}
+
+// Restore writes the snapshot back into the parameters. Every parameter
+// must be present with a matching length.
+func (s Snapshot) Restore(params []*Param) error {
+	for _, p := range params {
+		data, ok := s[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(data) != len(p.Value.Data) {
+			return fmt.Errorf("nn: snapshot parameter %q has %d values, want %d",
+				p.Name, len(data), len(p.Value.Data))
+		}
+		copy(p.Value.Data, data)
+	}
+	return nil
+}
+
+// Save writes the snapshot as JSON to path.
+func (s Snapshot) Save(path string) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSnapshot reads a snapshot previously written with Save.
+func LoadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("nn: corrupt snapshot %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,79 @@
+// Package nn provides the feed-forward building blocks of the RL policy:
+// linear layers with manual backpropagation, activations, row-wise softmax,
+// an Adam optimizer, and parameter (de)serialization for checkpoints.
+//
+// Gradient convention: Backward methods accumulate into parameter gradients
+// (callers zero them once per optimization step via ZeroGrads) and overwrite
+// input-gradient buffers.
+package nn
+
+import (
+	"math/rand"
+
+	"mcmpart/internal/mat"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *mat.Dense
+	Grad  *mat.Dense
+}
+
+// newParam allocates a named parameter of the given shape.
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Value: mat.New(rows, cols), Grad: mat.New(rows, cols)}
+}
+
+// ZeroGrads clears the gradient accumulators of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// Linear is a fully connected layer: Y = X @ W + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+
+	x  *mat.Dense // cached input for backprop
+	dw *mat.Dense // scratch for the weight-gradient product
+}
+
+// NewLinear returns a Xavier-initialized linear layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out,
+		W:  newParam(name+".w", in, out),
+		B:  newParam(name+".b", 1, out),
+		dw: mat.New(in, out),
+	}
+	l.W.Value.XavierInit(rng)
+	return l
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes out = x @ W + b, caching x for Backward. out must be
+// x.Rows x Out and distinct from x.
+func (l *Linear) Forward(out, x *mat.Dense) {
+	mat.Mul(out, x, l.W.Value)
+	out.AddRowVector(l.B.Value.Data)
+	l.x = x
+}
+
+// Backward accumulates parameter gradients from dOut and, when dX is
+// non-nil, overwrites it with the input gradient. Forward must have been
+// called first.
+func (l *Linear) Backward(dX, dOut *mat.Dense) {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	mat.MulATB(l.dw, l.x, dOut)
+	l.W.Grad.Add(l.dw)
+	dOut.ColSums(l.B.Grad.Data)
+	if dX != nil {
+		mat.MulABT(dX, dOut, l.W.Value)
+	}
+}

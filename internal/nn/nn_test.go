@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcmpart/internal/mat"
+)
+
+// lossOf runs x through the layer and returns a simple scalar loss (sum of
+// squares of the output), used for finite-difference checks.
+func lossOf(l *Linear, x *mat.Dense) float64 {
+	out := mat.New(x.Rows, l.Out)
+	l.Forward(out, x)
+	var s float64
+	for _, v := range out.Data {
+		s += v * v
+	}
+	return 0.5 * s
+}
+
+func TestLinearGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("fc", 4, 3, rng)
+	x := mat.New(5, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	// Analytic gradients: dLoss/dOut = out for the 0.5*sum(out^2) loss.
+	out := mat.New(5, 3)
+	l.Forward(out, x)
+	dOut := out.Clone()
+	dX := mat.New(5, 4)
+	ZeroGrads(l.Params())
+	l.Backward(dX, dOut)
+
+	const eps = 1e-6
+	check := func(name string, data []float64, grad []float64) {
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			up := lossOf(l, x)
+			data[i] = orig - eps
+			down := lossOf(l, x)
+			data[i] = orig
+			fd := (up - down) / (2 * eps)
+			if math.Abs(fd-grad[i]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("%s[%d]: finite diff %v vs analytic %v", name, i, fd, grad[i])
+			}
+		}
+	}
+	check("W", l.W.Value.Data, l.W.Grad.Data)
+	check("B", l.B.Value.Data, l.B.Grad.Data)
+	check("X", x.Data, dX.Data)
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear("fc", 2, 2, rng)
+	x := mat.FromSlice(1, 2, []float64{1, 2})
+	out := mat.New(1, 2)
+	l.Forward(out, x)
+	dOut := mat.FromSlice(1, 2, []float64{1, 1})
+	ZeroGrads(l.Params())
+	l.Backward(nil, dOut)
+	first := append([]float64(nil), l.W.Grad.Data...)
+	l.Forward(out, x)
+	l.Backward(nil, dOut)
+	for i := range first {
+		if math.Abs(l.W.Grad.Data[i]-2*first[i]) > 1e-12 {
+			t.Fatalf("gradients should accumulate: %v vs %v", l.W.Grad.Data, first)
+		}
+	}
+}
+
+func TestActivationsAndBackward(t *testing.T) {
+	x := mat.FromSlice(1, 4, []float64{-2, -0.5, 0.5, 2})
+	out := mat.New(1, 4)
+	ReLU(out, x)
+	if out.At(0, 0) != 0 || out.At(0, 3) != 2 {
+		t.Fatalf("ReLU wrong: %v", out.Data)
+	}
+	dOut := mat.FromSlice(1, 4, []float64{1, 1, 1, 1})
+	dX := mat.New(1, 4)
+	ReLUBackward(dX, dOut, out)
+	if dX.At(0, 0) != 0 || dX.At(0, 2) != 1 {
+		t.Fatalf("ReLUBackward wrong: %v", dX.Data)
+	}
+	Tanh(out, x)
+	if math.Abs(out.At(0, 3)-math.Tanh(2)) > 1e-15 {
+		t.Fatalf("Tanh wrong: %v", out.Data)
+	}
+	TanhBackward(dX, dOut, out)
+	want := 1 - math.Tanh(2)*math.Tanh(2)
+	if math.Abs(dX.At(0, 3)-want) > 1e-15 {
+		t.Fatalf("TanhBackward wrong: %v", dX.Data)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	logits := mat.FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	out := mat.New(2, 3)
+	SoftmaxRows(out, logits)
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for _, v := range out.Row(r) {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("softmax row %d has bad value: %v", r, out.Row(r))
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("softmax row %d sums to %v", r, sum)
+		}
+	}
+	if out.At(0, 2) <= out.At(0, 0) {
+		t.Fatal("softmax should be monotone in logits")
+	}
+	// Log-softmax agrees with log(softmax).
+	lout := mat.New(2, 3)
+	LogSoftmaxRows(lout, logits)
+	for i := range out.Data {
+		if math.Abs(math.Exp(lout.Data[i])-out.Data[i]) > 1e-12 {
+			t.Fatalf("log-softmax mismatch at %d", i)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w - 3)^2 with Adam: w should approach 3.
+	p := newParam("w", 1, 1)
+	p.Value.Data[0] = -5
+	opt := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		opt.Step()
+	}
+	if math.Abs(p.Value.Data[0]-3) > 0.05 {
+		t.Fatalf("Adam did not converge: w = %v", p.Value.Data[0])
+	}
+}
+
+func TestAdamGradClipping(t *testing.T) {
+	p := newParam("w", 1, 2)
+	opt := NewAdam([]*Param{p}, 0.1)
+	opt.MaxGradNorm = 1
+	p.Grad.Data[0], p.Grad.Data[1] = 300, 400 // norm 500
+	if n := opt.GradNorm(); math.Abs(n-500) > 1e-9 {
+		t.Fatalf("GradNorm = %v, want 500", n)
+	}
+	before := append([]float64(nil), p.Value.Data...)
+	opt.Step()
+	// With clipping to norm 1 and Adam normalization the step magnitude
+	// stays around LR.
+	for i := range before {
+		if d := math.Abs(p.Value.Data[i] - before[i]); d > 0.2 {
+			t.Fatalf("clipped step too large: %v", d)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear("fc", 3, 2, rng)
+	snap := TakeSnapshot(l.Params())
+	orig := append([]float64(nil), l.W.Value.Data...)
+	l.W.Value.Zero()
+	if err := snap.Restore(l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if l.W.Value.Data[i] != orig[i] {
+			t.Fatal("Restore did not bring values back")
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Restore(l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Missing parameter detected.
+	delete(loaded, "fc.w")
+	if err := loaded.Restore(l.Params()); err == nil {
+		t.Fatal("Restore should fail on missing params")
+	}
+	// Corrupt file detected.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("LoadSnapshot should fail on corrupt JSON")
+	}
+}

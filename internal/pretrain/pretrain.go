@@ -1,0 +1,146 @@
+// Package pretrain implements the paper's pre-training pipeline (Sec. 4.3,
+// Figure 4): a training worker iterates PPO over the training-set graphs
+// against the analytical cost model, periodically emitting checkpoints of
+// the policy weights; a validation worker replays every checkpoint on the
+// validation-set graphs and picks the one with the best average reward. The
+// chosen checkpoint is what deployment warm-starts from, either zero-shot
+// or with fine-tuning (internal/rl.ZeroShot / rl.FineTune).
+package pretrain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/nn"
+	"mcmpart/internal/rl"
+)
+
+// EnvFactory builds a fresh evaluation environment for a graph; the
+// pipeline uses it for both training and validation graphs. Implementations
+// wire the graph to a Partitioner and an evaluator (the analytical cost
+// model during pre-training) and set the heuristic baseline.
+type EnvFactory func(g *graph.Graph) (*rl.Env, error)
+
+// Config drives the pipeline.
+type Config struct {
+	// Policy is the network shape (must match the deployment package's
+	// chip count).
+	Policy rl.Config
+	// PPO is the training configuration.
+	PPO rl.PPOConfig
+	// TotalSamples is the pre-training evaluation budget summed over all
+	// training graphs (paper: 20000).
+	TotalSamples int
+	// Checkpoints is how many evenly spaced checkpoints to emit
+	// (paper: 200).
+	Checkpoints int
+	// ValidationSamples is the per-graph zero-shot budget the validation
+	// worker spends scoring each checkpoint.
+	ValidationSamples int
+	// Seed derives all randomness.
+	Seed int64
+}
+
+// QuickConfig returns a laptop-scale pipeline configuration for a given
+// chip count; see EXPERIMENTS.md for the knobs used by each experiment.
+func QuickConfig(chips int) Config {
+	return Config{
+		Policy:            rl.QuickConfig(chips),
+		PPO:               rl.QuickPPOConfig(),
+		TotalSamples:      2000,
+		Checkpoints:       10,
+		ValidationSamples: 8,
+		Seed:              1,
+	}
+}
+
+// Result is the pipeline output.
+type Result struct {
+	// Checkpoints are the emitted snapshots, oldest first.
+	Checkpoints []nn.Snapshot
+	// Scores are the validation rewards per checkpoint.
+	Scores []float64
+	// BestIndex points at the checkpoint the validation worker selected.
+	BestIndex int
+	// TrainStats records per-iteration training statistics.
+	TrainStats []rl.IterationStats
+}
+
+// Best returns the selected checkpoint.
+func (r *Result) Best() nn.Snapshot { return r.Checkpoints[r.BestIndex] }
+
+// Run executes the two-worker pipeline sequentially (training first, then
+// validation — determinism matters more than wall-clock overlap here).
+func Run(train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Result, error) {
+	if len(train) == 0 || len(validation) == 0 {
+		return nil, fmt.Errorf("pretrain: need training and validation graphs (%d/%d)", len(train), len(validation))
+	}
+	if cfg.Checkpoints < 1 {
+		cfg.Checkpoints = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	policy := rl.NewPolicy(cfg.Policy, rng)
+	trainer := rl.NewTrainer(policy, cfg.PPO, rng)
+
+	envs := make([]*rl.Env, len(train))
+	for i, g := range train {
+		env, err := factory(g)
+		if err != nil {
+			return nil, fmt.Errorf("pretrain: training env for %s: %w", g.Name(), err)
+		}
+		envs[i] = env
+	}
+
+	res := &Result{}
+	totalSamples := func() int {
+		s := 0
+		for _, e := range envs {
+			s += e.Samples
+		}
+		return s
+	}
+	interval := cfg.TotalSamples / cfg.Checkpoints
+	if interval < 1 {
+		interval = 1
+	}
+	nextCheckpoint := interval
+	for totalSamples() < cfg.TotalSamples {
+		res.TrainStats = append(res.TrainStats, trainer.Iterate(envs))
+		for totalSamples() >= nextCheckpoint && len(res.Checkpoints) < cfg.Checkpoints {
+			res.Checkpoints = append(res.Checkpoints, policy.Snapshot())
+			nextCheckpoint += interval
+		}
+	}
+	if len(res.Checkpoints) == 0 || totalSamples() > nextCheckpoint-interval {
+		res.Checkpoints = append(res.Checkpoints, policy.Snapshot())
+	}
+
+	// Validation worker: zero-shot score per checkpoint, averaged over the
+	// validation graphs.
+	vrng := rand.New(rand.NewSource(cfg.Seed + 1))
+	scorer := rl.NewPolicy(cfg.Policy, vrng)
+	res.Scores = make([]float64, len(res.Checkpoints))
+	best := -1.0
+	for ci, snap := range res.Checkpoints {
+		if err := scorer.Restore(snap); err != nil {
+			return nil, fmt.Errorf("pretrain: checkpoint %d: %w", ci, err)
+		}
+		var score float64
+		for _, g := range validation {
+			env, err := factory(g)
+			if err != nil {
+				return nil, fmt.Errorf("pretrain: validation env for %s: %w", g.Name(), err)
+			}
+			rl.ZeroShot(scorer, env, cfg.ValidationSamples, vrng)
+			score += env.BestImprovement()
+		}
+		score /= float64(len(validation))
+		res.Scores[ci] = score
+		if score > best {
+			best = score
+			res.BestIndex = ci
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package pretrain
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+	"mcmpart/internal/workload"
+)
+
+func tinyFactory(t *testing.T, pkg *mcm.Package) EnvFactory {
+	t.Helper()
+	model := costmodel.New(pkg)
+	return func(g *graph.Graph) (*rl.Env, error) {
+		pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+		if err != nil {
+			return nil, err
+		}
+		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
+		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh), nil
+	}
+}
+
+func tinyGraphs(n int) []*graph.Graph {
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		gs[i] = workload.MLP(workload.MLPConfig{
+			Name: "m", Layers: 4 + i, Input: 128, Hidden: 256, Output: 32, Batch: 8,
+		})
+	}
+	return gs
+}
+
+func TestRunEmitsCheckpointsAndPicksBest(t *testing.T) {
+	pkg := mcm.Dev4()
+	cfg := QuickConfig(pkg.Chips)
+	cfg.Policy = rl.Config{Chips: pkg.Chips, Hidden: 8, SAGELayers: 1, Iterations: 1}
+	cfg.PPO.Rollouts = 4
+	cfg.PPO.Epochs = 1
+	cfg.TotalSamples = 40
+	cfg.Checkpoints = 4
+	cfg.ValidationSamples = 3
+	res, err := Run(tinyGraphs(3), tinyGraphs(1), tinyFactory(t, pkg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) == 0 || len(res.Checkpoints) > cfg.Checkpoints+1 {
+		t.Fatalf("checkpoints = %d", len(res.Checkpoints))
+	}
+	if len(res.Scores) != len(res.Checkpoints) {
+		t.Fatalf("scores/checkpoints mismatch: %d vs %d", len(res.Scores), len(res.Checkpoints))
+	}
+	if res.BestIndex < 0 || res.BestIndex >= len(res.Checkpoints) {
+		t.Fatalf("bad best index %d", res.BestIndex)
+	}
+	for i, s := range res.Scores {
+		if s > res.Scores[res.BestIndex] {
+			t.Fatalf("checkpoint %d (%.3f) beats selected %d (%.3f)", i, s, res.BestIndex, res.Scores[res.BestIndex])
+		}
+	}
+	if len(res.TrainStats) == 0 {
+		t.Fatal("no training iterations recorded")
+	}
+	// The selected checkpoint restores into a fresh policy and runs.
+	rng := rand.New(rand.NewSource(9))
+	p := rl.NewPolicy(cfg.Policy, rng)
+	if err := p.Restore(res.Best()); err != nil {
+		t.Fatal(err)
+	}
+	env, err := tinyFactory(t, pkg)(tinyGraphs(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.ZeroShot(p, env, 4, rng)
+	if env.Samples < 4 {
+		t.Fatal("zero-shot deployment did not consume its budget")
+	}
+}
+
+func TestRunRejectsEmptySets(t *testing.T) {
+	pkg := mcm.Dev4()
+	cfg := QuickConfig(pkg.Chips)
+	if _, err := Run(nil, tinyGraphs(1), tinyFactory(t, pkg), cfg); err == nil {
+		t.Fatal("empty training set should fail")
+	}
+	if _, err := Run(tinyGraphs(1), nil, tinyFactory(t, pkg), cfg); err == nil {
+		t.Fatal("empty validation set should fail")
+	}
+}

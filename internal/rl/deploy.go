@@ -1,0 +1,33 @@
+package rl
+
+import "math/rand"
+
+// ZeroShot deploys a (pre-trained) policy on an environment without any
+// weight updates — the paper's "RL Zeroshot" configuration: run T-step
+// refinement episodes, handing each sampled assignment to the solver, until
+// the evaluation budget is consumed. The environment's History records the
+// best-so-far curve.
+func ZeroShot(policy *Policy, env *Env, budget int, rng *rand.Rand) {
+	for env.Samples < budget {
+		prev := unassigned(env.Ctx.G.NumNodes())
+		for step := 0; step < policy.Cfg.Iterations && env.Samples < budget; step++ {
+			f := policy.Forward(env.Ctx, prev)
+			if env.UseSampleMode {
+				env.StepProbs(MixedProbRows(f.Probs, env.ExploreEps()), rng)
+				prev = SampleActions(f.Probs, rng)
+			} else {
+				y := SampleActions(f.Probs, rng)
+				env.StepActions(y, rng)
+				prev = y
+			}
+		}
+	}
+}
+
+// FineTune continues PPO training of a (pre-trained) policy on a single
+// environment until the evaluation budget is consumed — the paper's
+// "RL Finetuning" configuration.
+func FineTune(policy *Policy, env *Env, cfg PPOConfig, budget int, rng *rand.Rand) []IterationStats {
+	trainer := NewTrainer(policy, cfg, rng)
+	return trainer.TrainUntil([]*Env{env}, budget)
+}

@@ -1,0 +1,142 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/partition"
+)
+
+// EvalFunc measures a partition's throughput and whether it passed the
+// dynamic constraints (the analytical model in pre-training, the hardware
+// simulator in deployment). Invalid partitions must report throughput 0.
+type EvalFunc func(p partition.Partition) (throughput float64, valid bool)
+
+// Env is the partitioning environment of Figure 1: it turns policy outputs
+// into valid partitions through the constraint solver, evaluates them, and
+// tracks the search trajectory (best partition and the best-so-far curve per
+// evaluated sample that the experiment figures plot).
+type Env struct {
+	Ctx  *GraphContext
+	Part cpsolver.Partitioner
+	Eval EvalFunc
+	// Baseline is the throughput of the compiler heuristic the experiments
+	// normalize against; rewards are improvement ratios over it.
+	Baseline float64
+	// UseSampleMode switches the solver from FIX mode (Algorithm 2, the
+	// paper's choice for RL) to SAMPLE mode (Algorithm 1).
+	UseSampleMode bool
+	// NoSolver bypasses the constraint solver entirely (the paper's
+	// "RL without constraint solver" baseline): raw actions are evaluated
+	// directly and invalid ones earn zero reward.
+	NoSolver bool
+
+	// Samples counts evaluations consumed (the x-axis of Figures 5 and 6).
+	Samples int
+	// Best tracks the best valid partition found and its throughput.
+	Best           partition.Partition
+	BestThroughput float64
+	// History records the best-so-far improvement ratio after every
+	// sample.
+	History []float64
+	// ValidSamples counts samples that passed all constraints.
+	ValidSamples int
+
+	// exploreEps is the adaptive uniform-mixing weight for policy
+	// distributions: it escalates while samples earn zero reward (a
+	// confidently wrong policy would otherwise starve of gradient) and
+	// decays back to the floor once rewards flow.
+	exploreEps float64
+}
+
+// NewEnv builds an environment; baseline must be the heuristic throughput
+// used for reward normalization (> 0).
+func NewEnv(ctx *GraphContext, part cpsolver.Partitioner, eval EvalFunc, baseline float64) *Env {
+	if baseline <= 0 {
+		panic("rl: non-positive baseline throughput")
+	}
+	return &Env{Ctx: ctx, Part: part, Eval: eval, Baseline: baseline, exploreEps: exploreFloor}
+}
+
+// Exploration mixing bounds.
+const (
+	exploreFloor = 0.1
+	exploreCeil  = 1.0
+)
+
+// ExploreEps returns the current adaptive exploration weight.
+func (e *Env) ExploreEps() float64 {
+	if e.exploreEps == 0 {
+		return exploreFloor
+	}
+	return e.exploreEps
+}
+
+// step evaluates a corrected partition, updating the search trajectory, and
+// returns the reward (improvement ratio over the baseline, 0 when invalid).
+func (e *Env) step(p partition.Partition, valid bool) float64 {
+	th := 0.0
+	if valid {
+		var ok bool
+		th, ok = e.Eval(p)
+		if !ok {
+			th = 0
+		}
+	}
+	e.Samples++
+	if th > 0 {
+		e.ValidSamples++
+	}
+	if th > e.BestThroughput {
+		e.BestThroughput = th
+		e.Best = p.Clone()
+	}
+	e.History = append(e.History, e.BestThroughput/e.Baseline)
+	if th == 0 {
+		e.exploreEps = math.Min(exploreCeil, e.ExploreEps()*1.5)
+	} else {
+		e.exploreEps = math.Max(exploreFloor, e.ExploreEps()*0.8)
+	}
+	return th / e.Baseline
+}
+
+// StepActions runs one environment step from a concrete action vector y:
+// FIX-mode correction by default (or no correction with NoSolver), then
+// evaluation. It returns the reward.
+func (e *Env) StepActions(y []int, rng *rand.Rand) float64 {
+	if e.NoSolver {
+		p := partition.Partition(y).Clone()
+		valid := p.Validate(e.Ctx.G, e.Part.Chips()) == nil
+		return e.step(p, valid)
+	}
+	p, err := e.Part.FixMode(y, rng)
+	if err != nil {
+		return e.step(nil, false)
+	}
+	return e.step(p, true)
+}
+
+// StepProbs runs one environment step from a probability matrix through the
+// solver's SAMPLE mode. It returns the reward.
+func (e *Env) StepProbs(probs [][]float64, rng *rand.Rand) float64 {
+	p, err := e.Part.SampleMode(probs, rng)
+	if err != nil {
+		return e.step(nil, false)
+	}
+	return e.step(p, true)
+}
+
+// BestImprovement returns the best-so-far improvement over the baseline.
+func (e *Env) BestImprovement() float64 { return e.BestThroughput / e.Baseline }
+
+// Reset clears the search trajectory but keeps the graph, solver and
+// baseline.
+func (e *Env) Reset() {
+	e.Samples = 0
+	e.ValidSamples = 0
+	e.Best = nil
+	e.BestThroughput = 0
+	e.History = nil
+	e.exploreEps = exploreFloor
+}

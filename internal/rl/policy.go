@@ -1,0 +1,278 @@
+// Package rl implements the paper's constrained reinforcement-learning
+// partitioner (Sec. 4): a GraphSAGE encoder feeding a feed-forward policy
+// head that emits, for every node, a probability distribution over chips
+// (Figure 3), trained with PPO against rewards evaluated on
+// solver-corrected partitions. Decoding is iterative but non-autoregressive
+// (Eq. 7): the policy conditions on the whole previous assignment and
+// refines it for a small number of iterations T.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmpart/internal/gnn"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mat"
+	"mcmpart/internal/nn"
+)
+
+// Config shapes the policy network. The zero value is invalid; use
+// DefaultConfig (paper-scale) or QuickConfig (bench-scale) and override.
+type Config struct {
+	// Chips is the action-space size C.
+	Chips int
+	// Hidden is the GraphSAGE and policy-head width (paper: 128).
+	Hidden int
+	// SAGELayers is the GraphSAGE depth (paper: 8).
+	SAGELayers int
+	// Iterations is T, the number of non-autoregressive refinement steps
+	// per episode (Eq. 7).
+	Iterations int
+}
+
+// DefaultConfig returns the paper's network shape for a package with the
+// given chip count: 8 GraphSAGE layers of width 128, a 2-layer policy head
+// of the same width.
+func DefaultConfig(chips int) Config {
+	return Config{Chips: chips, Hidden: 128, SAGELayers: 8, Iterations: 2}
+}
+
+// QuickConfig returns a scaled-down shape for tests and default benchmark
+// runs on one CPU core (see EXPERIMENTS.md for the scale knobs).
+func QuickConfig(chips int) Config {
+	return Config{Chips: chips, Hidden: 32, SAGELayers: 2, Iterations: 2}
+}
+
+// Policy is the trainable network: GraphSAGE encoder, a two-layer policy
+// head over [node embedding ; previous assignment one-hot], and a two-layer
+// value head over the pooled state.
+type Policy struct {
+	Cfg Config
+
+	sage     *gnn.SAGE
+	fc1, fc2 *nn.Linear
+	vf1, vf2 *nn.Linear
+	params   []*nn.Param
+}
+
+// NewPolicy builds a policy for the given configuration.
+func NewPolicy(cfg Config, rng *rand.Rand) *Policy {
+	if cfg.Chips <= 0 || cfg.Hidden <= 0 || cfg.SAGELayers <= 0 || cfg.Iterations <= 0 {
+		panic(fmt.Sprintf("rl: invalid config %+v", cfg))
+	}
+	p := &Policy{Cfg: cfg}
+	p.sage = gnn.NewSAGE(gnn.FeatureDim, cfg.Hidden, cfg.SAGELayers, rng)
+	in := cfg.Hidden + cfg.Chips
+	p.fc1 = nn.NewLinear("policy.fc1", in, cfg.Hidden, rng)
+	p.fc2 = nn.NewLinear("policy.fc2", cfg.Hidden, cfg.Chips, rng)
+	p.vf1 = nn.NewLinear("value.fc1", in, cfg.Hidden, rng)
+	p.vf2 = nn.NewLinear("value.fc2", cfg.Hidden, 1, rng)
+	p.params = append(p.params, p.sage.Params()...)
+	p.params = append(p.params, p.fc1.Params()...)
+	p.params = append(p.params, p.fc2.Params()...)
+	p.params = append(p.params, p.vf1.Params()...)
+	p.params = append(p.params, p.vf2.Params()...)
+	return p
+}
+
+// Params returns all trainable parameters.
+func (p *Policy) Params() []*nn.Param { return p.params }
+
+// Snapshot captures the policy weights (a pre-training checkpoint).
+func (p *Policy) Snapshot() nn.Snapshot { return nn.TakeSnapshot(p.params) }
+
+// Restore loads a checkpoint taken from a policy with the same Config.
+func (p *Policy) Restore(s nn.Snapshot) error { return s.Restore(p.params) }
+
+// GraphContext caches the per-graph tensors the policy needs: adjacency and
+// static features. Build one per graph and reuse it across episodes.
+type GraphContext struct {
+	G   *graph.Graph
+	Adj *gnn.Adjacency
+	X   *mat.Dense
+}
+
+// NewGraphContext precomputes the encoder inputs for a graph.
+func NewGraphContext(g *graph.Graph) *GraphContext {
+	return &GraphContext{G: g, Adj: gnn.BuildAdjacency(g), X: gnn.Features(g)}
+}
+
+// Forward is one policy evaluation on the state (graph, previous
+// assignment). prev has one entry per node; -1 means unassigned (the state
+// at t=0). The result holds everything Backward needs and stays valid until
+// the next Forward on this policy.
+type Forward struct {
+	Probs    *mat.Dense // N x C action distribution P (Figure 3's output)
+	LogProbs *mat.Dense // N x C log-probabilities
+	Value    float64
+
+	ctx    *GraphContext
+	z      *mat.Dense // policy-head input [h ; onehot(prev)]
+	a1     *mat.Dense // post-ReLU hidden of the policy head
+	logits *mat.Dense
+	pooled *mat.Dense // value-head input
+	v1     *mat.Dense
+	n      int
+}
+
+// Forward runs the network. The returned buffers are owned by the caller
+// (fresh allocations) so multiple Forwards can coexist in a PPO batch.
+func (p *Policy) Forward(ctx *GraphContext, prev []int) *Forward {
+	n := ctx.G.NumNodes()
+	if len(prev) != n {
+		panic(fmt.Sprintf("rl: prev has %d entries for %d nodes", len(prev), n))
+	}
+	c := p.Cfg.Chips
+	h := p.sage.Forward(ctx.Adj, ctx.X)
+
+	f := &Forward{ctx: ctx, n: n}
+	f.z = mat.New(n, p.Cfg.Hidden+c)
+	for i := 0; i < n; i++ {
+		row := f.z.Row(i)
+		copy(row, h.Row(i))
+		if a := prev[i]; a >= 0 && a < c {
+			row[p.Cfg.Hidden+a] = 1
+		}
+	}
+	f.a1 = mat.New(n, p.Cfg.Hidden)
+	p.fc1.Forward(f.a1, f.z)
+	nn.ReLU(f.a1, f.a1)
+	f.logits = mat.New(n, c)
+	p.fc2.Forward(f.logits, f.a1)
+	f.Probs = mat.New(n, c)
+	nn.SoftmaxRows(f.Probs, f.logits)
+	f.LogProbs = mat.New(n, c)
+	nn.LogSoftmaxRows(f.LogProbs, f.logits)
+
+	// Value head over the pooled state: mean embedding plus the
+	// normalized chip histogram of the previous assignment.
+	f.pooled = mat.New(1, p.Cfg.Hidden+c)
+	pr := f.pooled.Row(0)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		hr := h.Row(i)
+		for j, v := range hr {
+			pr[j] += v * inv
+		}
+		if a := prev[i]; a >= 0 && a < c {
+			pr[p.Cfg.Hidden+a] += inv
+		}
+	}
+	f.v1 = mat.New(1, p.Cfg.Hidden)
+	p.vf1.Forward(f.v1, f.pooled)
+	nn.ReLU(f.v1, f.v1)
+	vout := mat.New(1, 1)
+	p.vf2.Forward(vout, f.v1)
+	f.Value = vout.At(0, 0)
+	return f
+}
+
+// Backward accumulates parameter gradients for a forward pass given the
+// loss gradient with respect to the logits (N x C) and the value output.
+// The policy's layer caches must still correspond to f — in PPO's update
+// loop each transition is re-Forwarded immediately before its Backward.
+func (p *Policy) Backward(f *Forward, dLogits *mat.Dense, dValue float64) {
+	c := p.Cfg.Chips
+	// Policy head.
+	dA1 := mat.New(f.n, p.Cfg.Hidden)
+	p.fc2.Backward(dA1, dLogits)
+	nn.ReLUBackward(dA1, dA1, f.a1)
+	dZ := mat.New(f.n, p.Cfg.Hidden+c)
+	p.fc1.Backward(dZ, dA1)
+	// Value head.
+	dVout := mat.FromSlice(1, 1, []float64{dValue})
+	dV1 := mat.New(1, p.Cfg.Hidden)
+	p.vf2.Backward(dV1, dVout)
+	nn.ReLUBackward(dV1, dV1, f.v1)
+	dPooled := mat.New(1, p.Cfg.Hidden+c)
+	p.vf1.Backward(dPooled, dV1)
+	// Gradient into the embeddings: policy rows plus the pooled mean.
+	dH := mat.New(f.n, p.Cfg.Hidden)
+	inv := 1 / float64(f.n)
+	pr := dPooled.Row(0)
+	for i := 0; i < f.n; i++ {
+		dr := dH.Row(i)
+		zr := dZ.Row(i)
+		for j := 0; j < p.Cfg.Hidden; j++ {
+			dr[j] = zr[j] + pr[j]*inv
+		}
+	}
+	p.sage.Backward(dH)
+}
+
+// SampleActions draws one chip per node from the distribution.
+func SampleActions(probs *mat.Dense, rng *rand.Rand) []int {
+	actions := make([]int, probs.Rows)
+	for i := range actions {
+		row := probs.Row(i)
+		x := rng.Float64()
+		a := len(row) - 1
+		for c, pc := range row {
+			x -= pc
+			if x <= 0 {
+				a = c
+				break
+			}
+		}
+		actions[i] = a
+	}
+	return actions
+}
+
+// JointLogProb returns the log-probability of the joint assignment under
+// the per-node distributions: sum_i log P[i][y_i].
+func JointLogProb(logProbs *mat.Dense, actions []int) float64 {
+	var sum float64
+	for i, a := range actions {
+		sum += logProbs.At(i, a)
+	}
+	return sum
+}
+
+// MeanEntropy returns the average per-node entropy of the distribution.
+func MeanEntropy(probs, logProbs *mat.Dense) float64 {
+	var h float64
+	for i, p := range probs.Data {
+		if p > 0 {
+			h -= p * logProbs.Data[i]
+		}
+	}
+	return h / float64(probs.Rows)
+}
+
+// ProbRows exposes the distribution as the [][]float64 the constraint
+// solver's SAMPLE mode consumes (row views, no copying).
+func ProbRows(probs *mat.Dense) [][]float64 {
+	rows := make([][]float64, probs.Rows)
+	for i := range rows {
+		rows[i] = probs.Row(i)
+	}
+	return rows
+}
+
+// MixedProbRows returns the policy distribution blended with uniform:
+// (1-eps) * P + eps/C per entry. It allocates fresh rows.
+func MixedProbRows(probs *mat.Dense, eps float64) [][]float64 {
+	n, c := probs.Rows, probs.Cols
+	rows := make([][]float64, n)
+	flat := make([]float64, n*c)
+	u := eps / float64(c)
+	for i := 0; i < n; i++ {
+		rows[i] = flat[i*c : (i+1)*c]
+		src := probs.Row(i)
+		for j := range rows[i] {
+			rows[i][j] = (1-eps)*src[j] + u
+		}
+	}
+	return rows
+}
+
+// unassigned returns the t=0 state: every node unassigned.
+func unassigned(n int) []int {
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	return prev
+}

@@ -1,0 +1,261 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"mcmpart/internal/mat"
+	"mcmpart/internal/nn"
+	"mcmpart/internal/partition"
+)
+
+// PPOConfig holds the training hyper-parameters. The paper's selected
+// values (Sec. 5.1) are 20 rollouts, 4 minibatches and 10 epochs.
+type PPOConfig struct {
+	Rollouts    int     // episodes collected per iteration
+	MiniBatches int     // minibatches per epoch
+	Epochs      int     // passes over the collected batch per iteration
+	LR          float64 // Adam learning rate
+	ClipEps     float64 // PPO clipping epsilon
+	ValueCoef   float64 // value-loss weight
+	EntropyCoef float64 // entropy-bonus weight
+	MaxGradNorm float64 // global gradient clip (0 disables)
+}
+
+// DefaultPPOConfig returns the paper's training hyper-parameters.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Rollouts:    20,
+		MiniBatches: 4,
+		Epochs:      10,
+		LR:          3e-4,
+		ClipEps:     0.2,
+		ValueCoef:   0.5,
+		EntropyCoef: 0.01,
+		MaxGradNorm: 0.5,
+	}
+}
+
+// QuickPPOConfig returns a reduced setting for tests and default benches.
+func QuickPPOConfig() PPOConfig {
+	cfg := DefaultPPOConfig()
+	cfg.Rollouts = 8
+	cfg.Epochs = 4
+	cfg.MiniBatches = 2
+	return cfg
+}
+
+// transition is one PPO sample: the state (graph + previous assignment),
+// the joint action, and its credit.
+type transition struct {
+	env    *Env
+	prev   []int
+	action []int
+	logp   float64
+	value  float64
+	ret    float64 // reward-to-go (gamma = 1 over the T refinement steps)
+	adv    float64
+}
+
+// Trainer runs PPO over one policy and any number of environments.
+type Trainer struct {
+	Policy *Policy
+	Cfg    PPOConfig
+
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// NewTrainer builds a PPO trainer.
+func NewTrainer(policy *Policy, cfg PPOConfig, rng *rand.Rand) *Trainer {
+	opt := nn.NewAdam(policy.Params(), cfg.LR)
+	opt.MaxGradNorm = cfg.MaxGradNorm
+	return &Trainer{Policy: policy, Cfg: cfg, opt: opt, rng: rng}
+}
+
+// IterationStats summarizes one PPO iteration.
+type IterationStats struct {
+	MeanReward  float64
+	MeanEntropy float64
+	PolicyLoss  float64
+	ValueLoss   float64
+	Samples     int
+}
+
+// episode runs one T-step refinement episode (Eq. 7) on env, appending its
+// transitions: sample y(t) from P(t) = pi(. | G, y(t-1)), hand it to the
+// solver, earn the corrected partition's reward.
+func (t *Trainer) episode(env *Env, buf []transition) []transition {
+	T := t.Policy.Cfg.Iterations
+	prev := unassigned(env.Ctx.G.NumNodes())
+	rewards := make([]float64, 0, T)
+	start := len(buf)
+	for step := 0; step < T; step++ {
+		f := t.Policy.Forward(env.Ctx, prev)
+		var y []int
+		var logp float64
+		if env.UseSampleMode {
+			// Algorithm 1: the solver samples from P; credit the
+			// emitted partition as the action.
+			p, err := env.Part.SampleMode(MixedProbRows(f.Probs, env.ExploreEps()), t.rng)
+			if err != nil {
+				y = SampleActions(f.Probs, t.rng)
+			} else {
+				y = p
+			}
+			logp = JointLogProb(f.LogProbs, y)
+			rewards = append(rewards, env.step(partition.Partition(y), err == nil))
+		} else {
+			// Algorithm 2 (FIX, the paper's default for RL): the raw
+			// sample is the action, the solver repairs it.
+			y = SampleActions(f.Probs, t.rng)
+			logp = JointLogProb(f.LogProbs, y)
+			rewards = append(rewards, env.StepActions(y, t.rng))
+		}
+		buf = append(buf, transition{
+			env:    env,
+			prev:   prev,
+			action: y,
+			logp:   logp,
+			value:  f.Value,
+		})
+		prev = y
+	}
+	// Reward-to-go with gamma = 1 across the T refinement steps.
+	acc := 0.0
+	for i := len(rewards) - 1; i >= 0; i-- {
+		acc += rewards[i]
+		buf[start+i].ret = acc
+	}
+	return buf
+}
+
+// Iterate performs one PPO iteration: collect Rollouts episodes round-robin
+// over the environments, compute normalized advantages, and run
+// Epochs x MiniBatches clipped-surrogate updates.
+func (t *Trainer) Iterate(envs []*Env) IterationStats {
+	var stats IterationStats
+	var buf []transition
+	for r := 0; r < t.Cfg.Rollouts; r++ {
+		buf = t.episode(envs[r%len(envs)], buf)
+	}
+	stats.Samples = len(buf)
+	// Advantages, normalized over the batch.
+	var mean, sq float64
+	for i := range buf {
+		buf[i].adv = buf[i].ret - buf[i].value
+		mean += buf[i].adv
+		stats.MeanReward += buf[i].ret
+	}
+	mean /= float64(len(buf))
+	stats.MeanReward /= float64(len(buf))
+	for i := range buf {
+		d := buf[i].adv - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq/float64(len(buf))) + 1e-8
+	for i := range buf {
+		buf[i].adv = (buf[i].adv - mean) / std
+	}
+
+	order := make([]int, len(buf))
+	for i := range order {
+		order[i] = i
+	}
+	nb := t.Cfg.MiniBatches
+	if nb < 1 {
+		nb = 1
+	}
+	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
+		t.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for b := 0; b < nb; b++ {
+			lo, hi := b*len(order)/nb, (b+1)*len(order)/nb
+			if lo == hi {
+				continue
+			}
+			nn.ZeroGrads(t.Policy.Params())
+			var pl, vl, ent float64
+			for _, idx := range order[lo:hi] {
+				p, v, e := t.update(&buf[idx], float64(hi-lo))
+				pl += p
+				vl += v
+				ent += e
+			}
+			t.opt.Step()
+			stats.PolicyLoss += pl
+			stats.ValueLoss += vl
+			stats.MeanEntropy += ent / float64(hi-lo)
+		}
+	}
+	total := float64(t.Cfg.Epochs * nb)
+	stats.PolicyLoss /= total
+	stats.ValueLoss /= total
+	stats.MeanEntropy /= total
+	return stats
+}
+
+// update accumulates the gradients of one transition's PPO loss, scaled by
+// 1/batch, and returns its loss components.
+func (t *Trainer) update(tr *transition, batch float64) (policyLoss, valueLoss, entropy float64) {
+	f := t.Policy.Forward(tr.env.Ctx, tr.prev)
+	logpNew := JointLogProb(f.LogProbs, tr.action)
+	ratio := math.Exp(logpNew - tr.logp)
+	adv := tr.adv
+	clipped := ratio < 1-t.Cfg.ClipEps || ratio > 1+t.Cfg.ClipEps
+	surr1 := ratio * adv
+	surr2 := math.Max(math.Min(ratio, 1+t.Cfg.ClipEps), 1-t.Cfg.ClipEps) * adv
+	policyLoss = -math.Min(surr1, surr2)
+	// dL/dlogpNew: zero when the clipped branch is active and smaller.
+	var dLogp float64
+	if !(clipped && surr2 < surr1) {
+		dLogp = -adv * ratio
+	}
+	entropy = MeanEntropy(f.Probs, f.LogProbs)
+
+	// Gradient wrt logits: policy term + entropy bonus.
+	n, c := f.Probs.Rows, f.Probs.Cols
+	dLogits := mat.New(n, c)
+	scale := 1 / batch
+	beta := t.Cfg.EntropyCoef / float64(n)
+	for i := 0; i < n; i++ {
+		pi := f.Probs.Row(i)
+		li := f.LogProbs.Row(i)
+		di := dLogits.Row(i)
+		// Per-row entropy for the entropy-gradient identity.
+		var hRow float64
+		for j := range pi {
+			hRow -= pi[j] * li[j]
+		}
+		a := tr.action[i]
+		for j := range di {
+			g := dLogp * (indicator(j == a) - pi[j])
+			// d(-H)/dlogit_j = p_j*(log p_j + H).
+			g += beta * pi[j] * (li[j] + hRow)
+			di[j] = g * scale
+		}
+	}
+	vErr := f.Value - tr.ret
+	valueLoss = 0.5 * vErr * vErr
+	dValue := t.Cfg.ValueCoef * vErr * scale
+	t.Policy.Backward(f, dLogits, dValue)
+	return policyLoss, valueLoss, entropy
+}
+
+func indicator(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TrainUntil runs PPO iterations on the environments until the first
+// environment has consumed at least sampleBudget evaluations, returning the
+// per-iteration stats. This is the "RL" configuration of the experiments:
+// training from scratch against an evaluation budget.
+func (t *Trainer) TrainUntil(envs []*Env, sampleBudget int) []IterationStats {
+	var all []IterationStats
+	for envs[0].Samples < sampleBudget {
+		all = append(all, t.Iterate(envs))
+	}
+	return all
+}

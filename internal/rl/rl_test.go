@@ -1,0 +1,250 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mat"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/nn"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/workload"
+)
+
+func testEnv(t *testing.T, chips int) *Env {
+	t.Helper()
+	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 6, Input: 256, Hidden: 512, Output: 64, Batch: 16})
+	pr, err := cpsolver.NewAuto(g, chips, cpsolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := mcm.Dev4()
+	pkg.Chips = chips
+	eval := func(p partition.Partition) (float64, bool) {
+		// Reward balance directly: throughput proxy = 1/imbalance.
+		return 1 / p.Imbalance(g), true
+	}
+	base, _ := eval(make(partition.Partition, g.NumNodes()))
+	ctx := NewGraphContext(g)
+	return NewEnv(ctx, pr, eval, base/2) // baseline below single-chip
+}
+
+func TestPolicyForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := QuickConfig(4)
+	p := NewPolicy(cfg, rng)
+	env := testEnv(t, 4)
+	f := p.Forward(env.Ctx, unassigned(env.Ctx.G.NumNodes()))
+	n := env.Ctx.G.NumNodes()
+	if f.Probs.Rows != n || f.Probs.Cols != 4 {
+		t.Fatalf("probs %dx%d, want %dx4", f.Probs.Rows, f.Probs.Cols, n)
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, v := range f.Probs.Row(i) {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad prob %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	if math.IsNaN(f.Value) {
+		t.Fatal("NaN value")
+	}
+}
+
+func TestPolicyConditionsOnPrev(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPolicy(QuickConfig(4), rng)
+	env := testEnv(t, 4)
+	n := env.Ctx.G.NumNodes()
+	f0 := p.Forward(env.Ctx, unassigned(n))
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = i % 4
+	}
+	f1 := p.Forward(env.Ctx, prev)
+	diff := 0.0
+	for i := range f0.Probs.Data {
+		diff += math.Abs(f0.Probs.Data[i] - f1.Probs.Data[i])
+	}
+	if diff < 1e-9 {
+		t.Fatal("policy output should depend on the previous assignment")
+	}
+}
+
+// TestPolicyGradientCheck validates Backward end-to-end (SAGE + heads)
+// against finite differences on a surrogate loss sum(logits^2)/2 + value^2/2.
+func TestPolicyGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.New("tiny")
+	for i := 0; i < 4; i++ {
+		g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, OutputBytes: 8})
+		if i > 0 {
+			g.MustAddEdge(i-1, i, 8)
+		}
+	}
+	ctx := NewGraphContext(g)
+	p := NewPolicy(Config{Chips: 3, Hidden: 5, SAGELayers: 2, Iterations: 1}, rng)
+	prev := []int{0, 1, -1, 2}
+
+	loss := func() float64 {
+		f := p.Forward(ctx, prev)
+		var s float64
+		for _, v := range f.logits.Data {
+			s += v * v
+		}
+		return 0.5*s + 0.5*f.Value*f.Value
+	}
+	f := p.Forward(ctx, prev)
+	dLogits := f.logits.Clone()
+	nn.ZeroGrads(p.Params())
+	p.Backward(f, dLogits, f.Value)
+
+	const eps = 1e-6
+	for _, param := range p.Params() {
+		for i := 0; i < len(param.Value.Data); i += 1 + len(param.Value.Data)/7 {
+			orig := param.Value.Data[i]
+			param.Value.Data[i] = orig + eps
+			up := loss()
+			param.Value.Data[i] = orig - eps
+			down := loss()
+			param.Value.Data[i] = orig
+			fd := (up - down) / (2 * eps)
+			got := param.Grad.Data[i]
+			if math.Abs(fd-got) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("%s[%d]: finite diff %v vs analytic %v", param.Name, i, fd, got)
+			}
+		}
+	}
+}
+
+func TestSampleActionsAndJointLogProb(t *testing.T) {
+	probs := mat.FromSlice(2, 2, []float64{1, 0, 0, 1})
+	rng := rand.New(rand.NewSource(4))
+	y := SampleActions(probs, rng)
+	if y[0] != 0 || y[1] != 1 {
+		t.Fatalf("deterministic rows sampled wrong: %v", y)
+	}
+	lp := mat.FromSlice(2, 2, []float64{math.Log(0.5), math.Log(0.5), math.Log(0.25), math.Log(0.75)})
+	got := JointLogProb(lp, []int{0, 1})
+	want := math.Log(0.5) + math.Log(0.75)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("JointLogProb = %v, want %v", got, want)
+	}
+}
+
+func TestEnvTracksBest(t *testing.T) {
+	env := testEnv(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	n := env.Ctx.G.NumNodes()
+	for i := 0; i < 5; i++ {
+		y := make([]int, n)
+		for j := range y {
+			y[j] = rng.Intn(4)
+		}
+		env.StepActions(y, rng)
+	}
+	if env.Samples != 5 || len(env.History) != 5 {
+		t.Fatalf("samples=%d history=%d", env.Samples, len(env.History))
+	}
+	if env.Best == nil || env.BestThroughput <= 0 {
+		t.Fatal("env should have found a valid best partition")
+	}
+	// History is monotone nondecreasing (best-so-far).
+	for i := 1; i < len(env.History); i++ {
+		if env.History[i] < env.History[i-1] {
+			t.Fatalf("history not monotone: %v", env.History)
+		}
+	}
+	env.Reset()
+	if env.Samples != 0 || env.Best != nil || env.History != nil {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestEnvNoSolverRejectsInvalid(t *testing.T) {
+	env := testEnv(t, 4)
+	env.NoSolver = true
+	rng := rand.New(rand.NewSource(6))
+	n := env.Ctx.G.NumNodes()
+	// A deliberately invalid assignment (backwards dataflow).
+	y := make([]int, n)
+	y[0] = 3
+	r := env.StepActions(y, rng)
+	if r != 0 {
+		t.Fatalf("invalid raw action should earn 0 reward, got %v", r)
+	}
+	if env.ValidSamples != 0 {
+		t.Fatal("invalid sample counted as valid")
+	}
+}
+
+// TestPPOImprovesOverRandom is the core learning test: after a few PPO
+// iterations on a small balance-rewarded environment, the policy's average
+// reward should exceed the untrained policy's.
+func TestPPOImprovesOverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	env := testEnv(t, 4)
+	policy := NewPolicy(Config{Chips: 4, Hidden: 16, SAGELayers: 2, Iterations: 2}, rng)
+	cfg := QuickPPOConfig()
+	cfg.Rollouts = 6
+	cfg.Epochs = 3
+	trainer := NewTrainer(policy, cfg, rng)
+	first := trainer.Iterate([]*Env{env})
+	var last IterationStats
+	for i := 0; i < 12; i++ {
+		last = trainer.Iterate([]*Env{env})
+	}
+	if !(last.MeanReward > first.MeanReward) {
+		t.Fatalf("PPO did not improve: first %.4f, last %.4f", first.MeanReward, last.MeanReward)
+	}
+	if env.ValidSamples == 0 {
+		t.Fatal("no valid samples seen during training")
+	}
+}
+
+func TestSnapshotRestoreChangesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := NewPolicy(QuickConfig(4), rng)
+	env := testEnv(t, 4)
+	prev := unassigned(env.Ctx.G.NumNodes())
+	before := p.Forward(env.Ctx, prev).Probs.Clone()
+	snap := p.Snapshot()
+	// Perturb and restore.
+	for _, param := range p.Params() {
+		param.Value.Scale(1.5)
+	}
+	if err := p.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Forward(env.Ctx, prev).Probs
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("restore did not reproduce the forward pass")
+		}
+	}
+}
+
+func TestTrainUntilRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	env := testEnv(t, 4)
+	policy := NewPolicy(Config{Chips: 4, Hidden: 8, SAGELayers: 1, Iterations: 1}, rng)
+	cfg := QuickPPOConfig()
+	cfg.Rollouts = 4
+	cfg.Epochs = 1
+	trainer := NewTrainer(policy, cfg, rng)
+	trainer.TrainUntil([]*Env{env}, 10)
+	if env.Samples < 10 {
+		t.Fatalf("budget not reached: %d", env.Samples)
+	}
+	if env.Samples > 10+cfg.Rollouts*policy.Cfg.Iterations {
+		t.Fatalf("overshot budget excessively: %d", env.Samples)
+	}
+}

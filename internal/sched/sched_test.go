@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/partition"
+)
+
+func chainGraph(t *testing.T, n int, outBytes int64) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{Name: "op", Op: graph.OpMatMul, FLOPs: 100, ParamBytes: 10, OutputBytes: outBytes})
+		if i > 0 {
+			g.MustAddEdge(i-1, i, outBytes)
+		}
+	}
+	return g
+}
+
+func TestComputeBasics(t *testing.T) {
+	g := chainGraph(t, 4, 8)
+	p := partition.Partition{0, 0, 1, 1}
+	scheds, err := Compute(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds[0].Ops) != 2 || len(scheds[1].Ops) != 2 {
+		t.Fatalf("ops split wrong: %v / %v", scheds[0].Ops, scheds[1].Ops)
+	}
+	if scheds[0].ParamBytes != 20 || scheds[1].ParamBytes != 20 {
+		t.Fatalf("param split wrong: %d / %d", scheds[0].ParamBytes, scheds[1].ParamBytes)
+	}
+	if scheds[0].BytesOut != 8 || scheds[1].BytesIn != 8 {
+		t.Fatalf("traffic wrong: out=%d in=%d", scheds[0].BytesOut, scheds[1].BytesIn)
+	}
+	// Chip order is topological.
+	if scheds[0].Ops[0] != 0 || scheds[0].Ops[1] != 1 {
+		t.Fatalf("schedule not topological: %v", scheds[0].Ops)
+	}
+}
+
+func TestLivenessChainFreesBuffers(t *testing.T) {
+	// A chain on one chip only ever keeps producer+consumer outputs live:
+	// peak should be 2 buffers (the final output lives to stage end).
+	g := chainGraph(t, 10, 100)
+	p := make(partition.Partition, 10)
+	scheds, err := Compute(g, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scheds[0].PeakActivationBytes; got != 200 {
+		t.Fatalf("chain peak = %d, want 200 (two live buffers)", got)
+	}
+}
+
+func TestLivenessFanOutHoldsBuffer(t *testing.T) {
+	// Node 0 feeds nodes 1..4; its output must stay live until node 4.
+	g := graph.New("fan")
+	g.AddNode(graph.Node{OutputBytes: 100})
+	for i := 1; i <= 4; i++ {
+		g.AddNode(graph.Node{OutputBytes: 10})
+		g.MustAddEdge(0, i, 100)
+	}
+	sink := g.AddNode(graph.Node{OutputBytes: 1})
+	for i := 1; i <= 4; i++ {
+		g.MustAddEdge(i, sink, 10)
+	}
+	p := make(partition.Partition, g.NumNodes())
+	scheds, err := Compute(g, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak: 100 (node 0, live until branch 4 consumes it) + 4x10.
+	if got := scheds[0].PeakActivationBytes; got != 140 {
+		t.Fatalf("fan-out peak = %d, want 140", got)
+	}
+}
+
+func TestRemoteBuffersCounted(t *testing.T) {
+	g := chainGraph(t, 2, 64)
+	p := partition.Partition{0, 1}
+	scheds, err := Compute(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chip 0: node 0's output goes remote, stays live: peak 64.
+	if scheds[0].PeakActivationBytes != 64 {
+		t.Fatalf("chip0 peak = %d, want 64", scheds[0].PeakActivationBytes)
+	}
+	// Chip 1: staged input 64 + own output 64 (sink holds to stage end).
+	if scheds[1].PeakActivationBytes != 128 {
+		t.Fatalf("chip1 peak = %d, want 128", scheds[1].PeakActivationBytes)
+	}
+}
+
+func TestPeakBytesAppliesPipelineFactor(t *testing.T) {
+	cs := ChipSchedule{ParamBytes: 1000, PeakActivationBytes: 100}
+	if got := cs.PeakBytes(2); got != 1200 {
+		t.Fatalf("PeakBytes = %d, want 1200", got)
+	}
+	if got := cs.PeakBytes(1); got != 1100 {
+		t.Fatalf("PeakBytes = %d, want 1100", got)
+	}
+}
+
+func TestComputeRejectsBadInput(t *testing.T) {
+	g := chainGraph(t, 3, 8)
+	if _, err := Compute(g, partition.Partition{0}, 2); err == nil {
+		t.Fatal("short partition should fail")
+	}
+	if _, err := Compute(g, partition.Partition{0, 0, 9}, 2); err == nil {
+		t.Fatal("chip out of range should fail")
+	}
+}
+
+func TestEmptyChipsAllowed(t *testing.T) {
+	g := chainGraph(t, 3, 8)
+	scheds, err := Compute(g, partition.Partition{0, 0, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < 4; c++ {
+		if len(scheds[c].Ops) != 0 || scheds[c].PeakActivationBytes != 0 {
+			t.Fatalf("chip %d should be empty: %+v", c, scheds[c])
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package search implements the paper's non-learned comparison methods
+// (Sec. 5.1): the greedy compiler heuristic used as the normalization
+// baseline, random search through the constraint solver, and simulated
+// annealing over the solver's input distribution.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
+)
+
+// Random is the paper's Random search strategy: a fixed uniform probability
+// distribution handed to the constraint solver's SAMPLE mode, best-of-budget
+// (each iteration consumes one evaluation). Progress is recorded in the
+// environment's History.
+func Random(env *rl.Env, budget int, rng *rand.Rand) {
+	for env.Samples < budget {
+		env.StepProbs(nil, rng)
+	}
+}
+
+// SAConfig tunes simulated annealing. Zero values take defaults (tuned
+// empirically, as the paper notes its baselines were).
+type SAConfig struct {
+	// InitTemp is the initial Metropolis temperature in units of reward
+	// (improvement ratio). Default 0.2.
+	InitTemp float64
+	// Cooling multiplies the temperature each iteration. Default 0.995.
+	Cooling float64
+	// PerturbFrac is the fraction of nodes whose distribution rows are
+	// re-randomized per move. Default 0.05.
+	PerturbFrac float64
+}
+
+func (c SAConfig) withDefaults() SAConfig {
+	if c.InitTemp == 0 {
+		c.InitTemp = 0.2
+	}
+	if c.Cooling == 0 {
+		c.Cooling = 0.995
+	}
+	if c.PerturbFrac == 0 {
+		c.PerturbFrac = 0.05
+	}
+	return c
+}
+
+// Anneal is the paper's SA strategy: start from the uniform distribution;
+// each iteration re-randomizes the distribution rows of a random subset of
+// nodes, generates a valid partition through the solver's SAMPLE mode,
+// evaluates it, and accepts or rejects the new distribution by the
+// Metropolis rule.
+func Anneal(env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) {
+	cfg = cfg.withDefaults()
+	n := env.Ctx.G.NumNodes()
+	c := env.Part.Chips()
+	current := make([][]float64, n)
+	flat := make([]float64, n*c)
+	for i := range current {
+		current[i] = flat[i*c : (i+1)*c]
+		for j := range current[i] {
+			current[i][j] = 1 / float64(c)
+		}
+	}
+	currentReward := env.StepProbs(current, rng)
+	temp := cfg.InitTemp
+	k := int(cfg.PerturbFrac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	proposal := make([][]float64, n)
+	pflat := make([]float64, n*c)
+	for i := range proposal {
+		proposal[i] = pflat[i*c : (i+1)*c]
+	}
+	for env.Samples < budget {
+		copy(pflat, flat)
+		for i := 0; i < k; i++ {
+			row := proposal[rng.Intn(n)]
+			var sum float64
+			for j := range row {
+				row[j] = -math.Log(1 - rng.Float64()) // Exp(1) -> Dirichlet(1)
+				sum += row[j]
+			}
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+		r := env.StepProbs(proposal, rng)
+		if r >= currentReward || rng.Float64() < math.Exp((r-currentReward)/temp) {
+			copy(flat, pflat)
+			currentReward = r
+		}
+		temp *= cfg.Cooling
+	}
+}
+
+// Greedy is the production compiler's O(N) heuristic the paper normalizes
+// all throughput numbers against: walk the graph in topological order and
+// fill each chip with operations until a conservative memory watermark,
+// then move to the next chip, placing every cut at the next gap no edge
+// span straddles twice. Filling to capacity is what a validity-first
+// backend does by default — it uses as few chips as memory allows and is
+// oblivious to pipeline balance, which is exactly the headroom the paper's
+// search methods exploit (their BERT partitions reach ~2.6x this baseline).
+func Greedy(g *graph.Graph, chips int, sramBytes int64) partition.Partition {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("search: Greedy needs a DAG: " + err.Error())
+	}
+	n := len(order)
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// nextGap[g] = earliest legal gap after a boundary at gap g (no edge
+	// span may contain two boundaries).
+	nextGap := make([]int, n)
+	for i := range nextGap {
+		nextGap[i] = i + 1
+	}
+	for _, e := range g.Edges() {
+		if pu := pos[e.From]; pos[e.To] > nextGap[pu] {
+			nextGap[pu] = pos[e.To]
+		}
+	}
+	for i := 1; i < n; i++ {
+		if nextGap[i-1] > nextGap[i] {
+			nextGap[i] = nextGap[i-1]
+		}
+	}
+	memBudget := sramBytes * 7 / 10
+	p := make(partition.Partition, n)
+	chip := 0
+	var memOnChip, maxOut int64
+	minGap := 0 // boundaries below this gap would double-cut an edge span
+	for idx, v := range order {
+		node := g.Node(v)
+		out := maxOut
+		if node.OutputBytes > out {
+			out = node.OutputBytes
+		}
+		// Conservative working-set estimate: pinned weights plus a few
+		// live activation buffers of the largest tensor seen (fan-outs,
+		// staged I/O and pipeline double-buffering).
+		demand := memOnChip + node.ParamBytes + 4*out
+		if memOnChip > 0 && demand > memBudget && chip < chips-1 && idx > 0 && idx-1 >= minGap {
+			chip++
+			memOnChip = 0
+			maxOut = 0
+			minGap = nextGap[idx-1]
+		}
+		p[v] = chip
+		memOnChip += node.ParamBytes
+		if node.OutputBytes > maxOut {
+			maxOut = node.OutputBytes
+		}
+	}
+	return p
+}
+
+// RandomPartition returns one uniform solver sample — the paper's "random
+// partition" quick heuristic.
+func RandomPartition(env *rl.Env, rng *rand.Rand) partition.Partition {
+	env.StepProbs(nil, rng)
+	return env.Best
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/workload"
+)
+
+func modelEnv(t *testing.T, g *graph.Graph, pkg *mcm.Package) *rl.Env {
+	t.Helper()
+	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.New(pkg)
+	eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
+	base := Greedy(g, pkg.Chips, pkg.SRAMBytes)
+	baseTh, _ := eval(base)
+	if baseTh <= 0 {
+		t.Fatal("greedy baseline has zero throughput")
+	}
+	return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+}
+
+func TestGreedyProducesValidPartitions(t *testing.T) {
+	pkg := mcm.Edge36()
+	for _, g := range workload.CorpusGraphs(2)[:20] {
+		p := Greedy(g, pkg.Chips, pkg.SRAMBytes)
+		if err := p.Validate(g, pkg.Chips); err != nil {
+			t.Errorf("%s: greedy invalid: %v", g.Name(), err)
+		}
+	}
+	// BERT too, including the memory budget behavior.
+	bert := workload.BERT()
+	p := Greedy(bert, pkg.Chips, pkg.SRAMBytes)
+	if err := p.Validate(bert, pkg.Chips); err != nil {
+		t.Fatalf("greedy BERT invalid: %v", err)
+	}
+	// The fill-style heuristic deliberately underuses the package — that
+	// imbalance is the headroom the paper's methods exploit.
+	if used := p.NumChipsUsed(); used < 5 || used > 25 {
+		t.Fatalf("greedy BERT uses %d chips, want the fill heuristic's 5-25", used)
+	}
+}
+
+func TestGreedyRespectsMemoryBudget(t *testing.T) {
+	// Two fat-weight ops then many light ones: greedy must cut after the
+	// first fat op rather than stack both.
+	g := graph.New("fat")
+	for i := 0; i < 10; i++ {
+		pb := int64(0)
+		if i < 2 {
+			pb = 6 << 20
+		}
+		g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, ParamBytes: pb, OutputBytes: 16})
+		if i > 0 {
+			g.MustAddEdge(i-1, i, 16)
+		}
+	}
+	p := Greedy(g, 4, 8<<20) // budget 0.7*8MiB = 5.6MiB
+	if p[0] == p[1] {
+		t.Fatalf("greedy stacked 12 MiB of weights on one 8 MiB chip: %v", p)
+	}
+}
+
+func TestRandomSearchImproves(t *testing.T) {
+	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 8, Input: 512, Hidden: 1024, Output: 128, Batch: 32})
+	env := modelEnv(t, g, mcm.Dev8())
+	rng := rand.New(rand.NewSource(1))
+	Random(env, 40, rng)
+	if env.Samples != 40 {
+		t.Fatalf("samples = %d, want 40", env.Samples)
+	}
+	if env.BestImprovement() <= 0 {
+		t.Fatal("random search found nothing")
+	}
+	// History must be monotone and end at the best.
+	last := env.History[len(env.History)-1]
+	if last != env.BestImprovement() {
+		t.Fatalf("history end %v != best %v", last, env.BestImprovement())
+	}
+}
+
+func TestAnnealImprovesAndRespectsBudget(t *testing.T) {
+	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 8, Input: 512, Hidden: 1024, Output: 128, Batch: 32})
+	env := modelEnv(t, g, mcm.Dev8())
+	rng := rand.New(rand.NewSource(2))
+	Anneal(env, 40, SAConfig{}, rng)
+	if env.Samples < 40 {
+		t.Fatalf("samples = %d, want >= 40", env.Samples)
+	}
+	if env.BestImprovement() <= 0 {
+		t.Fatal("SA found nothing")
+	}
+}
+
+func TestSearchBeatsGreedyOnImbalancedGraph(t *testing.T) {
+	// A graph with wildly varying node costs: node-count-balanced greedy
+	// is far from compute-balanced, so even a modest random search should
+	// find a better partition.
+	g := workload.BuildBERT(func() workload.BERTConfig {
+		cfg := workload.DefaultBERTConfig()
+		cfg.Layers = 2
+		cfg.SeqLen = 64
+		return cfg
+	}())
+	env := modelEnv(t, g, mcm.Dev8())
+	rng := rand.New(rand.NewSource(3))
+	Random(env, 60, rng)
+	if env.BestImprovement() <= 1.0 {
+		t.Fatalf("random search (%.3fx) should beat the greedy baseline", env.BestImprovement())
+	}
+}

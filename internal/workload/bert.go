@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+
+	"mcmpart/internal/graph"
+)
+
+// BERTConfig parameterizes the transformer generator. The default
+// (DefaultBERTConfig) reproduces the workload of Sec. 5.3: a BERT-Large
+// encoder whose op-level graph has 2138 nodes and ~340 M parameters
+// (~650 MiB at bf16).
+type BERTConfig struct {
+	Name string
+	// Layers is the number of transformer encoder layers.
+	Layers int
+	// Hidden is the model width.
+	Hidden int
+	// Heads is the number of attention heads.
+	Heads int
+	// HeadGroups is the number of groups the attention core is decomposed
+	// into; the compiler emits one QK/softmax/AV chain per group.
+	HeadGroups int
+	// FF is the feed-forward inner width.
+	FF int
+	// Vocab is the token vocabulary size.
+	Vocab int
+	// EmbedShards is the number of shards the token-embedding table is
+	// split into so that no single op exceeds a chiplet's SRAM.
+	EmbedShards int
+	// SeqLen is the sequence length of the compiled graph.
+	SeqLen int
+	// MaxPos is the positional-embedding table length.
+	MaxPos int
+	// Classes is the classification-head width.
+	Classes int
+}
+
+// DefaultBERTConfig returns the BERT-Large configuration used by the
+// experiments.
+func DefaultBERTConfig() BERTConfig {
+	return BERTConfig{
+		Name:        "bert",
+		Layers:      24,
+		Hidden:      1024,
+		Heads:       16,
+		HeadGroups:  4,
+		FF:          4096,
+		Vocab:       30522,
+		EmbedShards: 4,
+		SeqLen:      256,
+		MaxPos:      512,
+		Classes:     2,
+	}
+}
+
+// BERT builds the production-scale transformer workload with the default
+// configuration.
+func BERT() *graph.Graph { return BuildBERT(DefaultBERTConfig()) }
+
+// bertBuilder wraps builder with transformer-specific sub-graphs.
+type bertBuilder struct {
+	*builder
+	cfg BERTConfig
+	act int64 // bytes of one S x H activation
+}
+
+// layerNorm emits the compiler's 9-op layer-norm decomposition:
+// mean, sub, square, variance, add-eps, rsqrt, normalize, scale, shift.
+// The learned scale/shift parameters are attached to the last two ops.
+func (b *bertBuilder) layerNorm(prefix string, x int) int {
+	h := int64(b.cfg.Hidden * BytesPerElement)
+	rowB := int64(b.cfg.SeqLen * BytesPerElement)
+	mean := b.op(prefix+"/mean", graph.OpReduce, float64(b.act)/BytesPerElement, 0, rowB, x)
+	sub := b.elemwise(prefix+"/sub", b.act, x, mean)
+	sqr := b.elemwise(prefix+"/sqr", b.act, sub)
+	vr := b.op(prefix+"/var", graph.OpReduce, float64(b.act)/BytesPerElement, 0, rowB, sqr)
+	eps := b.elemwise(prefix+"/eps", rowB, vr)
+	rsq := b.elemwise(prefix+"/rsqrt", rowB, eps)
+	norm := b.elemwise(prefix+"/norm", b.act, sub, rsq)
+	scale := b.op(prefix+"/scale", graph.OpElementwise, float64(b.act)/BytesPerElement, h, b.act, norm)
+	return b.op(prefix+"/shift", graph.OpElementwise, float64(b.act)/BytesPerElement, h, b.act, scale)
+}
+
+// softmax emits the 5-op numerically-stable softmax decomposition over
+// attention scores of the given size.
+func (b *bertBuilder) softmax(prefix string, x int, bytes int64) int {
+	rowB := bytes / int64(b.cfg.SeqLen)
+	max := b.op(prefix+"/max", graph.OpReduce, float64(bytes)/BytesPerElement, 0, rowB, x)
+	sub := b.elemwise(prefix+"/sub", bytes, x, max)
+	exp := b.elemwise(prefix+"/exp", bytes, sub)
+	sum := b.op(prefix+"/sum", graph.OpReduce, float64(bytes)/BytesPerElement, 0, rowB, exp)
+	return b.elemwise(prefix+"/div", bytes, exp, sum)
+}
+
+// gelu emits the 7-op tanh-approximation GELU decomposition:
+// 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 * x^3))).
+func (b *bertBuilder) gelu(prefix string, x int, bytes int64) int {
+	cube := b.elemwise(prefix+"/cube", bytes, x)
+	coef := b.elemwise(prefix+"/coef", bytes, cube)
+	inner := b.elemwise(prefix+"/inner", bytes, x, coef)
+	tanh := b.op(prefix+"/tanh", graph.OpActivation, float64(bytes)/BytesPerElement, 0, bytes, inner)
+	one := b.elemwise(prefix+"/one", bytes, tanh)
+	half := b.elemwise(prefix+"/half", bytes, x)
+	return b.elemwise(prefix+"/mul", bytes, one, half)
+}
+
+// projection emits matmul + bias-add with the given weight shape.
+func (b *bertBuilder) projection(prefix string, x, in, out int, outBytes int64) int {
+	mm := b.op(prefix+"/matmul", graph.OpMatMul,
+		matmulFLOPs(b.cfg.SeqLen, in, out), int64(in*out*BytesPerElement), outBytes, x)
+	return b.op(prefix+"/bias", graph.OpElementwise,
+		float64(outBytes)/BytesPerElement, int64(out*BytesPerElement), outBytes, mm)
+}
+
+// BuildBERT builds a transformer encoder graph from cfg. The op-level
+// decomposition follows what an ML compiler's HLO looks like after fusion:
+// layer norms expand to 9 ops, softmax to 5, GELU to 7, and the attention
+// core is emitted once per head group.
+func BuildBERT(cfg BERTConfig) *graph.Graph {
+	bb := &bertBuilder{
+		builder: newBuilder(cfg.Name),
+		cfg:     cfg,
+		act:     int64(cfg.SeqLen * cfg.Hidden * BytesPerElement),
+	}
+	b, act := bb, bb.act
+	idsB := int64(cfg.SeqLen * 4) // int32 token IDs
+
+	// Embedding stack. The token table is sharded so no single op holds
+	// more than ~1/EmbedShards of the table (a whole-table lookup would
+	// exceed a chiplet's SRAM and admit no placement at all). The
+	// positional table needs no index operand: the compiler folds the
+	// iota into the lookup.
+	ids := b.op("input_ids", graph.OpInput, 0, 0, idsB)
+	shardRows := (cfg.Vocab + cfg.EmbedShards - 1) / cfg.EmbedShards
+	shardParams := int64(shardRows * cfg.Hidden * BytesPerElement)
+	var emb int
+	for s := 0; s < cfg.EmbedShards; s++ {
+		g := b.op(fmt.Sprintf("embed/tok%d", s), graph.OpEmbedding,
+			float64(act)/BytesPerElement, shardParams, act, ids)
+		if s == 0 {
+			emb = g
+		} else {
+			emb = b.elemwise(fmt.Sprintf("embed/tokadd%d", s), act, emb, g)
+		}
+	}
+	pos := b.op("embed/pos", graph.OpEmbedding, float64(act)/BytesPerElement,
+		int64(cfg.MaxPos*cfg.Hidden*BytesPerElement), act)
+	emb = b.elemwise("embed/posadd", act, emb, pos)
+	x := b.layerNorm("embed/ln", emb)
+
+	groupHeads := cfg.Heads / cfg.HeadGroups
+	scoreB := int64(groupHeads * cfg.SeqLen * cfg.SeqLen * BytesPerElement)
+	headDim := cfg.Hidden / cfg.Heads
+	for l := 0; l < cfg.Layers; l++ {
+		lp := fmt.Sprintf("layer%d", l)
+		residual := x
+
+		// Attention-mask preprocessing. The compiler rematerializes the
+		// mask per layer: a single shared mask subgraph would fan out to
+		// every layer, and under the triangle constraint (Eq. 4) such a
+		// global producer admits no valid partition beyond two chips.
+		maskIn := b.op(lp+"/mask", graph.OpInput, 0, 0, idsB)
+		maskS := b.elemwise(lp+"/mask/sub", idsB, maskIn)
+		mask := b.elemwise(lp+"/mask/scale", idsB, maskS)
+		y := b.layerNorm(lp+"/ln1", x)
+		var qkv [3]int
+		for i, name := range [3]string{"q", "k", "v"} {
+			p := b.projection(lp+"/"+name, y, cfg.Hidden, cfg.Hidden, act)
+			p = b.op(lp+"/"+name+"/reshape", graph.OpReshape, 0, 0, act, p)
+			qkv[i] = b.op(lp+"/"+name+"/transpose", graph.OpReshape, 0, 0, act, p)
+		}
+		// One attention chain per head group.
+		groupOut := make([]int, cfg.HeadGroups)
+		groupFLOPs := matmulFLOPs(cfg.SeqLen, headDim, cfg.SeqLen) * float64(groupHeads)
+		for gi := 0; gi < cfg.HeadGroups; gi++ {
+			gp := fmt.Sprintf("%s/attn/g%d", lp, gi)
+			qk := b.op(gp+"/qk", graph.OpMatMul, groupFLOPs, 0, scoreB, qkv[0], qkv[1])
+			sc := b.elemwise(gp+"/scale", scoreB, qk)
+			ms := b.elemwise(gp+"/mask", scoreB, sc, mask)
+			sm := b.softmax(gp+"/softmax", ms, scoreB)
+			groupOut[gi] = b.op(gp+"/av", graph.OpMatMul, groupFLOPs, 0,
+				act/int64(cfg.HeadGroups), sm, qkv[2])
+		}
+		cat := b.op(lp+"/attn/concat", graph.OpConcat, 0, 0, act, groupOut...)
+		rs := b.op(lp+"/attn/reshape", graph.OpReshape, 0, 0, act, cat)
+		proj := b.projection(lp+"/attn/out", rs, cfg.Hidden, cfg.Hidden, act)
+		drop := b.elemwise(lp+"/attn/dropout", act, proj)
+		x = b.elemwise(lp+"/attn/residual", act, drop, residual)
+
+		// Feed-forward block.
+		residual = x
+		y = b.layerNorm(lp+"/ln2", x)
+		ffB := int64(cfg.SeqLen * cfg.FF * BytesPerElement)
+		fc1 := b.projection(lp+"/ffn/fc1", y, cfg.Hidden, cfg.FF, ffB)
+		g := b.gelu(lp+"/ffn/gelu", fc1, ffB)
+		fc2 := b.projection(lp+"/ffn/fc2", g, cfg.FF, cfg.Hidden, act)
+		drop = b.elemwise(lp+"/ffn/dropout", act, fc2)
+		x = b.elemwise(lp+"/ffn/residual", act, drop, residual)
+	}
+
+	// Pooler and classification head.
+	hB := int64(cfg.Hidden * BytesPerElement)
+	cls := b.op("pooler/cls", graph.OpSplit, 0, 0, hB, x)
+	pool := b.op("pooler/dense", graph.OpMatMul, matmulFLOPs(1, cfg.Hidden, cfg.Hidden),
+		int64(cfg.Hidden*cfg.Hidden*BytesPerElement), hB, cls)
+	pb := b.op("pooler/bias", graph.OpElementwise, float64(hB)/BytesPerElement,
+		int64(cfg.Hidden*BytesPerElement), hB, pool)
+	pt := b.op("pooler/tanh", graph.OpActivation, float64(hB)/BytesPerElement, 0, hB, pb)
+	clsB := int64(cfg.Classes * BytesPerElement)
+	logits := b.projection("head", pt, cfg.Hidden, cfg.Classes, clsB)
+	b.op("output", graph.OpOutput, 0, 0, clsB, logits)
+	return b.finish()
+}

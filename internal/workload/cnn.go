@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+
+	"mcmpart/internal/graph"
+)
+
+// maxChannels caps channel doubling across stages: a single convolution's
+// weights must stay well under a chiplet's SRAM or no placement exists.
+const maxChannels = 512
+
+// CNNConfig parameterizes the convolutional generators.
+type CNNConfig struct {
+	// Name labels the generated graph.
+	Name string
+	// InputSize is the side length of the (square) input image.
+	InputSize int
+	// Channels is the base channel count; it doubles at each downsampling
+	// stage.
+	Channels int
+	// Stages is the number of resolution stages.
+	Stages int
+	// BlocksPerStage is the number of conv blocks within each stage.
+	BlocksPerStage int
+	// Classes is the classifier output width.
+	Classes int
+}
+
+// ChainCNN builds a VGG-style straight-line CNN: conv -> norm -> act
+// repeated, with pooling between stages and a dense classifier head. The
+// resulting graph is a pure pipeline, the easiest family to partition.
+func ChainCNN(cfg CNNConfig) *graph.Graph {
+	b := newBuilder(cfg.Name)
+	h, c := cfg.InputSize, cfg.Channels
+	x := b.op("input", graph.OpInput, 0, 0, featureBytes(h, h, 3))
+	prevC := 3
+	for s := 0; s < cfg.Stages; s++ {
+		for k := 0; k < cfg.BlocksPerStage; k++ {
+			out := featureBytes(h, h, c)
+			x = b.op(fmt.Sprintf("s%d/conv%d", s, k), graph.OpConv,
+				convFLOPs(h, h, prevC, c, 3), int64(3*3*prevC*c*BytesPerElement), out, x)
+			x = b.op(fmt.Sprintf("s%d/norm%d", s, k), graph.OpNorm,
+				float64(out), int64(2*c*BytesPerElement), out, x)
+			x = b.op(fmt.Sprintf("s%d/act%d", s, k), graph.OpActivation,
+				float64(out)/BytesPerElement, 0, out, x)
+			prevC = c
+		}
+		if s < cfg.Stages-1 {
+			h /= 2
+			x = b.op(fmt.Sprintf("s%d/pool", s), graph.OpPool,
+				float64(featureBytes(h, h, c)), 0, featureBytes(h, h, c), x)
+			if c < maxChannels {
+				c *= 2
+			}
+		}
+	}
+	x = b.op("gap", graph.OpReduce, float64(featureBytes(h, h, prevC)), 0,
+		int64(prevC*BytesPerElement), x)
+	x = b.op("fc", graph.OpMatMul, matmulFLOPs(1, prevC, cfg.Classes),
+		int64(prevC*cfg.Classes*BytesPerElement), int64(cfg.Classes*BytesPerElement), x)
+	x = b.op("softmax", graph.OpSoftmax, float64(cfg.Classes)*5, 0,
+		int64(cfg.Classes*BytesPerElement), x)
+	b.op("output", graph.OpOutput, 0, 0, int64(cfg.Classes*BytesPerElement), x)
+	return b.finish()
+}
+
+// ResidualCNN builds a ResNet-style CNN: each block is
+// conv-norm-act-conv-norm plus an identity skip joined by an elementwise
+// add. Skip edges are what make the triangle-dependency constraint bite:
+// a residual may not straddle more than one chip boundary.
+func ResidualCNN(cfg CNNConfig) *graph.Graph {
+	b := newBuilder(cfg.Name)
+	h, c := cfg.InputSize, cfg.Channels
+	x := b.op("input", graph.OpInput, 0, 0, featureBytes(h, h, 3))
+	out := featureBytes(h, h, c)
+	x = b.op("stem/conv", graph.OpConv, convFLOPs(h, h, 3, c, 3),
+		int64(3*3*3*c*BytesPerElement), out, x)
+	x = b.op("stem/act", graph.OpActivation, float64(out)/BytesPerElement, 0, out, x)
+	for s := 0; s < cfg.Stages; s++ {
+		for k := 0; k < cfg.BlocksPerStage; k++ {
+			prefix := fmt.Sprintf("s%d/b%d", s, k)
+			out = featureBytes(h, h, c)
+			skip := x
+			y := b.op(prefix+"/conv1", graph.OpConv, convFLOPs(h, h, c, c, 3),
+				int64(3*3*c*c*BytesPerElement), out, x)
+			y = b.op(prefix+"/norm1", graph.OpNorm, float64(out), int64(2*c*BytesPerElement), out, y)
+			y = b.op(prefix+"/act1", graph.OpActivation, float64(out)/BytesPerElement, 0, out, y)
+			y = b.op(prefix+"/conv2", graph.OpConv, convFLOPs(h, h, c, c, 3),
+				int64(3*3*c*c*BytesPerElement), out, y)
+			y = b.op(prefix+"/norm2", graph.OpNorm, float64(out), int64(2*c*BytesPerElement), out, y)
+			y = b.op(prefix+"/add", graph.OpElementwise, float64(out)/BytesPerElement, 0, out, y, skip)
+			x = b.op(prefix+"/act2", graph.OpActivation, float64(out)/BytesPerElement, 0, out, y)
+		}
+		if s < cfg.Stages-1 {
+			h /= 2
+			prev := c
+			if c < maxChannels {
+				c *= 2
+			}
+			out = featureBytes(h, h, c)
+			// Downsampling projection ends the skip chain cleanly.
+			x = b.op(fmt.Sprintf("s%d/down", s), graph.OpConv, convFLOPs(h, h, prev, c, 1),
+				int64(prev*c*BytesPerElement), out, x)
+		}
+	}
+	x = b.op("gap", graph.OpReduce, float64(out), 0, int64(c*BytesPerElement), x)
+	x = b.op("fc", graph.OpMatMul, matmulFLOPs(1, c, cfg.Classes),
+		int64(c*cfg.Classes*BytesPerElement), int64(cfg.Classes*BytesPerElement), x)
+	b.op("output", graph.OpOutput, 0, 0, int64(cfg.Classes*BytesPerElement), x)
+	return b.finish()
+}
+
+// InceptionCNN builds an inception-style CNN: each module runs several
+// parallel convolution branches over the same input and concatenates them.
+// The fan-out/fan-in structure stresses the no-skip and triangle constraints
+// differently from residual chains: all branches of a module must resolve to
+// chip assignments whose quotient graph stays triangle-free.
+func InceptionCNN(cfg CNNConfig) *graph.Graph {
+	b := newBuilder(cfg.Name)
+	h, c := cfg.InputSize, cfg.Channels
+	x := b.op("input", graph.OpInput, 0, 0, featureBytes(h, h, 3))
+	out := featureBytes(h, h, c)
+	x = b.op("stem/conv", graph.OpConv, convFLOPs(h, h, 3, c, 3),
+		int64(3*3*3*c*BytesPerElement), out, x)
+	for s := 0; s < cfg.Stages; s++ {
+		for m := 0; m < cfg.BlocksPerStage; m++ {
+			prefix := fmt.Sprintf("s%d/m%d", s, m)
+			bc := c / 4 // per-branch channels
+			branchOut := featureBytes(h, h, bc)
+			var joins []int
+			// Branch 1: 1x1 conv.
+			b1 := b.op(prefix+"/b1x1", graph.OpConv, convFLOPs(h, h, c, bc, 1),
+				int64(c*bc*BytesPerElement), branchOut, x)
+			joins = append(joins, b1)
+			// Branch 2: 1x1 then 3x3.
+			b2 := b.op(prefix+"/b3red", graph.OpConv, convFLOPs(h, h, c, bc, 1),
+				int64(c*bc*BytesPerElement), branchOut, x)
+			b2 = b.op(prefix+"/b3x3", graph.OpConv, convFLOPs(h, h, bc, bc, 3),
+				int64(3*3*bc*bc*BytesPerElement), branchOut, b2)
+			joins = append(joins, b2)
+			// Branch 3: 1x1 then 5x5.
+			b3 := b.op(prefix+"/b5red", graph.OpConv, convFLOPs(h, h, c, bc, 1),
+				int64(c*bc*BytesPerElement), branchOut, x)
+			b3 = b.op(prefix+"/b5x5", graph.OpConv, convFLOPs(h, h, bc, bc, 5),
+				int64(5*5*bc*bc*BytesPerElement), branchOut, b3)
+			joins = append(joins, b3)
+			// Branch 4: pool then 1x1 projection.
+			b4 := b.op(prefix+"/pool", graph.OpPool, float64(out), 0, out, x)
+			b4 = b.op(prefix+"/bproj", graph.OpConv, convFLOPs(h, h, c, bc, 1),
+				int64(c*bc*BytesPerElement), branchOut, b4)
+			joins = append(joins, b4)
+			x = b.op(prefix+"/concat", graph.OpConcat, 0, 0, featureBytes(h, h, bc*4), joins...)
+		}
+		if s < cfg.Stages-1 {
+			h /= 2
+			x = b.op(fmt.Sprintf("s%d/pool", s), graph.OpPool,
+				float64(featureBytes(h, h, c)), 0, featureBytes(h, h, c), x)
+		}
+	}
+	x = b.op("gap", graph.OpReduce, float64(featureBytes(h, h, c)), 0, int64(c*BytesPerElement), x)
+	x = b.op("fc", graph.OpMatMul, matmulFLOPs(1, c, cfg.Classes),
+		int64(c*cfg.Classes*BytesPerElement), int64(cfg.Classes*BytesPerElement), x)
+	b.op("output", graph.OpOutput, 0, 0, int64(cfg.Classes*BytesPerElement), x)
+	return b.finish()
+}

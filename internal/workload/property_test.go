@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"mcmpart/internal/graph"
+)
+
+// TestGeneratorsAlwaysProduceValidGraphs: every family, over a spread of
+// shapes, yields a validating DAG whose nodes all have sane costs and whose
+// JSON round-trips.
+func TestGeneratorsAlwaysProduceValidGraphs(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		stages := 1 + int(a%4)
+		blocks := 1 + int(b%4)
+		steps := 2 + int(c%12)
+		gs := []*graph.Graph{
+			ChainCNN(CNNConfig{Name: "p", InputSize: 32, Channels: 32, Stages: stages, BlocksPerStage: blocks, Classes: 10}),
+			ResidualCNN(CNNConfig{Name: "p", InputSize: 32, Channels: 32, Stages: stages, BlocksPerStage: blocks, Classes: 10}),
+			InceptionCNN(CNNConfig{Name: "p", InputSize: 32, Channels: 32, Stages: stages, BlocksPerStage: blocks, Classes: 10}),
+			UnrolledRNN(RNNConfig{Name: "p", Steps: steps, Input: 32, Hidden: 64, Vocab: 100, Batch: 4}),
+			UnrolledLSTM(RNNConfig{Name: "p", Steps: steps, Input: 32, Hidden: 64, Batch: 4}),
+			MLP(MLPConfig{Name: "p", Layers: stages + blocks, Input: 32, Hidden: 64, Output: 8, Batch: 4}),
+		}
+		for _, g := range gs {
+			if g.Validate() != nil {
+				return false
+			}
+			for _, n := range g.Nodes() {
+				if n.FLOPs < 0 || n.ParamBytes < 0 || n.OutputBytes < 0 {
+					return false
+				}
+			}
+			data, err := json.Marshal(g)
+			if err != nil {
+				return false
+			}
+			var back graph.Graph
+			if err := json.Unmarshal(data, &back); err != nil {
+				return false
+			}
+			if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoOversizedOps: no generator may emit a single operation whose
+// weights alone exceed a chiplet's SRAM — such a graph would admit no valid
+// placement at all.
+func TestNoOversizedOps(t *testing.T) {
+	const sram = 76 << 20
+	graphs := CorpusGraphs(7)
+	graphs = append(graphs, BERT())
+	for _, g := range graphs {
+		for _, n := range g.Nodes() {
+			if n.ParamBytes > sram/2 {
+				t.Fatalf("%s: node %s holds %d MiB of weights", g.Name(), n.Name, n.ParamBytes>>20)
+			}
+		}
+	}
+}
+
+// TestCorpusWeightScale: the corpus must stress the memory constraint the
+// way the paper's production models do — a substantial fraction of models
+// need several chips just to hold their weights (the rest stress compute
+// balance and communication instead).
+func TestCorpusWeightScale(t *testing.T) {
+	multiChip := 0
+	for _, g := range CorpusGraphs(1) {
+		if g.TotalParamBytes() > 76<<20 {
+			multiChip++
+		}
+	}
+	if multiChip < CorpusSize/4 {
+		t.Fatalf("only %d/%d corpus models exceed one chip's SRAM", multiChip, CorpusSize)
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+
+	"mcmpart/internal/graph"
+)
+
+// RNNConfig parameterizes the recurrent generators. The recurrence is
+// unrolled across time, as an ML compiler would see it, so the graph is a
+// long chain of cells with the hidden state threaded through.
+type RNNConfig struct {
+	Name string
+	// Steps is the number of unrolled timesteps.
+	Steps int
+	// Input is the input feature width per step.
+	Input int
+	// Hidden is the hidden-state width.
+	Hidden int
+	// Vocab is the output projection width (0 to omit the head).
+	Vocab int
+	// Batch is the inference batch size (defaults to 1 when zero); it
+	// scales compute and activation sizes but not weights.
+	Batch int
+}
+
+// batch returns the effective batch size.
+func (c RNNConfig) batch() int {
+	if c.Batch <= 0 {
+		return 1
+	}
+	return c.Batch
+}
+
+// UnrolledRNN builds a vanilla tanh RNN: h_t = tanh(W_ih x_t + W_hh h_{t-1}).
+func UnrolledRNN(cfg RNNConfig) *graph.Graph {
+	b := newBuilder(cfg.Name)
+	n := cfg.batch()
+	hb := int64(n * cfg.Hidden * BytesPerElement)
+	h := b.op("h0", graph.OpConst, 0, 0, hb)
+	var last int
+	for t := 0; t < cfg.Steps; t++ {
+		p := fmt.Sprintf("t%d", t)
+		x := b.op(p+"/x", graph.OpInput, 0, 0, int64(n*cfg.Input*BytesPerElement))
+		ih := b.op(p+"/ih", graph.OpMatMul, matmulFLOPs(n, cfg.Input, cfg.Hidden),
+			int64(cfg.Input*cfg.Hidden*BytesPerElement), hb, x)
+		hh := b.op(p+"/hh", graph.OpMatMul, matmulFLOPs(n, cfg.Hidden, cfg.Hidden),
+			int64(cfg.Hidden*cfg.Hidden*BytesPerElement), hb, h)
+		sum := b.elemwise(p+"/add", hb, ih, hh)
+		h = b.op(p+"/tanh", graph.OpActivation, float64(hb)/BytesPerElement, 0, hb, sum)
+		last = h
+	}
+	if cfg.Vocab > 0 {
+		vb := int64(n * cfg.Vocab * BytesPerElement)
+		logits := b.op("proj", graph.OpMatMul, matmulFLOPs(n, cfg.Hidden, cfg.Vocab),
+			int64(cfg.Hidden*cfg.Vocab*BytesPerElement), vb, last)
+		sm := b.op("softmax", graph.OpSoftmax, float64(n*cfg.Vocab)*5, 0, vb, logits)
+		b.op("output", graph.OpOutput, 0, 0, vb, sm)
+	} else {
+		b.op("output", graph.OpOutput, 0, 0, hb, last)
+	}
+	return b.finish()
+}
+
+// UnrolledLSTM builds an unrolled LSTM. Each cell computes the four gates
+// with two fused matmuls, applies the gate nonlinearities and updates the
+// cell and hidden state; the two recurrent states thread through every
+// timestep, giving each cell a pair of skip-like edges.
+func UnrolledLSTM(cfg RNNConfig) *graph.Graph {
+	b := newBuilder(cfg.Name)
+	n := cfg.batch()
+	hb := int64(n * cfg.Hidden * BytesPerElement)
+	gb := 4 * hb // fused gate activations
+	h := b.op("h0", graph.OpConst, 0, 0, hb)
+	c := b.op("c0", graph.OpConst, 0, 0, hb)
+	var last int
+	for t := 0; t < cfg.Steps; t++ {
+		p := fmt.Sprintf("t%d", t)
+		x := b.op(p+"/x", graph.OpInput, 0, 0, int64(n*cfg.Input*BytesPerElement))
+		ih := b.op(p+"/ih", graph.OpMatMul, matmulFLOPs(n, cfg.Input, 4*cfg.Hidden),
+			int64(cfg.Input*4*cfg.Hidden*BytesPerElement), gb, x)
+		hh := b.op(p+"/hh", graph.OpMatMul, matmulFLOPs(n, cfg.Hidden, 4*cfg.Hidden),
+			int64(cfg.Hidden*4*cfg.Hidden*BytesPerElement), gb, h)
+		gates := b.elemwise(p+"/gates", gb, ih, hh)
+		split := b.op(p+"/split", graph.OpSplit, 0, 0, gb, gates)
+		i := b.op(p+"/i", graph.OpActivation, float64(hb)/BytesPerElement, 0, hb, split)
+		f := b.op(p+"/f", graph.OpActivation, float64(hb)/BytesPerElement, 0, hb, split)
+		g := b.op(p+"/g", graph.OpActivation, float64(hb)/BytesPerElement, 0, hb, split)
+		o := b.op(p+"/o", graph.OpActivation, float64(hb)/BytesPerElement, 0, hb, split)
+		fc := b.elemwise(p+"/f*c", hb, f, c)
+		ig := b.elemwise(p+"/i*g", hb, i, g)
+		c = b.elemwise(p+"/c", hb, fc, ig)
+		tc := b.op(p+"/tanh_c", graph.OpActivation, float64(hb)/BytesPerElement, 0, hb, c)
+		h = b.elemwise(p+"/h", hb, o, tc)
+		last = h
+	}
+	if cfg.Vocab > 0 {
+		vb := int64(n * cfg.Vocab * BytesPerElement)
+		logits := b.op("proj", graph.OpMatMul, matmulFLOPs(n, cfg.Hidden, cfg.Vocab),
+			int64(cfg.Hidden*cfg.Vocab*BytesPerElement), vb, last)
+		b.op("output", graph.OpOutput, 0, 0, vb, logits)
+	} else {
+		b.op("output", graph.OpOutput, 0, 0, hb, last)
+	}
+	return b.finish()
+}
+
+// MLPConfig parameterizes the multilayer-perceptron generator.
+type MLPConfig struct {
+	Name string
+	// Layers is the number of hidden layers.
+	Layers int
+	// Input, Hidden and Output are the layer widths.
+	Input, Hidden, Output int
+	// Batch is the inference batch size (defaults to 1 when zero).
+	Batch int
+}
+
+// MLP builds a straight-line multilayer perceptron with norm and activation
+// between layers, the smallest family in the corpus.
+func MLP(cfg MLPConfig) *graph.Graph {
+	b := newBuilder(cfg.Name)
+	n := cfg.Batch
+	if n <= 0 {
+		n = 1
+	}
+	x := b.op("input", graph.OpInput, 0, 0, int64(n*cfg.Input*BytesPerElement))
+	in := cfg.Input
+	for l := 0; l < cfg.Layers; l++ {
+		p := fmt.Sprintf("l%d", l)
+		ob := int64(n * cfg.Hidden * BytesPerElement)
+		x = b.op(p+"/fc", graph.OpMatMul, matmulFLOPs(n, in, cfg.Hidden),
+			int64(in*cfg.Hidden*BytesPerElement), ob, x)
+		x = b.op(p+"/norm", graph.OpNorm, float64(ob), int64(2*cfg.Hidden*BytesPerElement), ob, x)
+		x = b.op(p+"/act", graph.OpActivation, float64(ob)/BytesPerElement, 0, ob, x)
+		in = cfg.Hidden
+	}
+	ob := int64(n * cfg.Output * BytesPerElement)
+	x = b.op("head", graph.OpMatMul, matmulFLOPs(n, in, cfg.Output),
+		int64(in*cfg.Output*BytesPerElement), ob, x)
+	b.op("output", graph.OpOutput, 0, 0, ob, x)
+	return b.finish()
+}

@@ -1,0 +1,80 @@
+// Package workload generates the ML computation graphs the experiments run
+// on. The paper evaluates on a private corpus of 87 production models
+// (computer-vision CNNs, RNNs and MLPs with tens to hundreds of nodes, none
+// containing attention) plus BERT, a production-scale transformer with 2138
+// nodes and roughly 340 M parameters. Both are proprietary, so this package
+// builds the closest synthetic equivalents:
+//
+//   - parameterized generators for chain CNNs, residual CNNs,
+//     inception-style CNNs, unrolled RNN/LSTMs and MLPs, seeded so the
+//     corpus is deterministic;
+//   - Corpus(), an 87-model dataset split 66/5/16 into train/validation/test
+//     exactly as in Sec. 5.1;
+//   - BERT(), a BERT-Large-shaped transformer graph matching the published
+//     node count (2138) and parameter footprint (~340 M params).
+//
+// Costs use a bf16-style 2 bytes per element. FLOPs use the usual
+// 2*M*K*N convention for matmuls and convolutions.
+package workload
+
+import (
+	"fmt"
+
+	"mcmpart/internal/graph"
+)
+
+// BytesPerElement is the storage size of one tensor element (bf16).
+const BytesPerElement = 2
+
+// builder provides a compact way to assemble op graphs. Each op method adds
+// a node and wires edges from its inputs, using the producer's OutputBytes
+// as the edge payload.
+type builder struct {
+	g *graph.Graph
+}
+
+func newBuilder(name string) *builder {
+	return &builder{g: graph.New(name)}
+}
+
+// op appends a node with the given costs and connects every input to it.
+func (b *builder) op(name string, kind graph.OpKind, flops float64, paramBytes, outBytes int64, inputs ...int) int {
+	id := b.g.AddNode(graph.Node{
+		Name:        name,
+		Op:          kind,
+		FLOPs:       flops,
+		ParamBytes:  paramBytes,
+		OutputBytes: outBytes,
+	})
+	for _, in := range inputs {
+		b.g.MustAddEdge(in, id, b.g.Node(in).OutputBytes)
+	}
+	return id
+}
+
+// elemwise adds a cheap elementwise op whose cost scales with its output.
+func (b *builder) elemwise(name string, outBytes int64, inputs ...int) int {
+	return b.op(name, graph.OpElementwise, float64(outBytes)/BytesPerElement, 0, outBytes, inputs...)
+}
+
+// finish validates and returns the built graph.
+func (b *builder) finish() *graph.Graph {
+	if err := b.g.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: generator produced invalid graph %s: %v", b.g.Name(), err))
+	}
+	return b.g
+}
+
+// matmulFLOPs returns 2*M*K*N.
+func matmulFLOPs(m, k, n int) float64 { return 2 * float64(m) * float64(k) * float64(n) }
+
+// convFLOPs returns the FLOPs of a kxk convolution producing an h x w x cout
+// feature map from cin channels.
+func convFLOPs(h, w, cin, cout, k int) float64 {
+	return 2 * float64(h) * float64(w) * float64(cin) * float64(cout) * float64(k) * float64(k)
+}
+
+// featureBytes returns the bf16 size of an h x w x c feature map.
+func featureBytes(h, w, c int) int64 {
+	return int64(h) * int64(w) * int64(c) * BytesPerElement
+}

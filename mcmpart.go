@@ -1,0 +1,198 @@
+// Package mcmpart partitions machine-learning computation graphs across the
+// chiplets of a multi-chip-module (MCM) accelerator, reproducing
+// "A Transferable Approach for Partitioning Machine Learning Models on
+// Multi-Chip-Modules" (Xie et al., MLSys 2022).
+//
+// The package is the public facade over the building blocks in internal/:
+// computation graphs, MCM package descriptors, the constraint solver, the
+// analytical cost model and hardware simulator, the search baselines, and
+// the constrained-RL partitioner with its pre-training pipeline. The one
+// call most users need is PartitionGraph:
+//
+//	g := mcmpart.BERT()
+//	pkg := mcmpart.Edge36()
+//	res, err := mcmpart.PartitionGraph(g, pkg, mcmpart.Options{
+//		Method:       mcmpart.MethodRL,
+//		SampleBudget: 200,
+//	})
+//	fmt.Println(res.Partition, res.Throughput)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results; cmd/mcmexp regenerates every table and figure of
+// the paper.
+package mcmpart
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/hwsim"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+	"mcmpart/internal/workload"
+)
+
+// Re-exported core types. The implementations live in internal packages;
+// these aliases are the supported public names.
+type (
+	// Graph is a computation graph of tensor operations.
+	Graph = graph.Graph
+	// Node is one tensor operation.
+	Node = graph.Node
+	// OpKind identifies an operator kind.
+	OpKind = graph.OpKind
+	// Package describes an MCM accelerator package.
+	Package = mcm.Package
+	// Partition maps node IDs to chip IDs.
+	Partition = partition.Partition
+	// HardwareResult is a simulated hardware evaluation.
+	HardwareResult = hwsim.Result
+)
+
+// NewGraph returns an empty computation graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// Edge36 returns the 36-chiplet package the paper evaluates on.
+func Edge36() *Package { return mcm.Edge36() }
+
+// Dev4 returns a small 4-chip package for experimentation.
+func Dev4() *Package { return mcm.Dev4() }
+
+// Dev8 returns an 8-chip package for experimentation.
+func Dev8() *Package { return mcm.Dev8() }
+
+// PackagePreset returns a package by name ("dev4", "dev8", "edge36").
+func PackagePreset(name string) (*Package, error) { return mcm.Preset(name) }
+
+// BERT builds the production-scale 2138-node transformer workload.
+func BERT() *Graph { return workload.BERT() }
+
+// CorpusGraphs generates the 87-model synthetic corpus.
+func CorpusGraphs(seed int64) []*Graph { return workload.CorpusGraphs(seed) }
+
+// Method selects a partitioning strategy for PartitionGraph.
+type Method string
+
+// Available strategies.
+const (
+	// MethodGreedy is the production compiler's O(N) heuristic.
+	MethodGreedy Method = "greedy"
+	// MethodRandom is random search through the constraint solver.
+	MethodRandom Method = "random"
+	// MethodSA is simulated annealing over solver input distributions.
+	MethodSA Method = "sa"
+	// MethodRL trains the constrained-RL partitioner from scratch.
+	MethodRL Method = "rl"
+)
+
+// Options configure PartitionGraph.
+type Options struct {
+	// Method defaults to MethodRL.
+	Method Method
+	// SampleBudget bounds the number of candidate evaluations for the
+	// search-based methods (default 200; ignored by MethodGreedy).
+	SampleBudget int
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// UseSimulator evaluates candidates on the hardware simulator
+	// (including the dynamic memory constraint) instead of the faster
+	// analytical cost model.
+	UseSimulator bool
+}
+
+// Result is the outcome of PartitionGraph.
+type Result struct {
+	// Partition is the best valid partition found.
+	Partition Partition
+	// Throughput is its evaluated throughput (inferences/s).
+	Throughput float64
+	// Improvement is Throughput normalized to the greedy heuristic.
+	Improvement float64
+	// Samples is the number of evaluations consumed.
+	Samples int
+}
+
+// PartitionGraph searches for a high-throughput valid partition of g on the
+// package using the selected method.
+func PartitionGraph(g *Graph, pkg *Package, opts Options) (*Result, error) {
+	if err := pkg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Method == "" {
+		opts.Method = MethodRL
+	}
+	if opts.SampleBudget <= 0 {
+		opts.SampleBudget = 200
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var eval rl.EvalFunc
+	if opts.UseSimulator {
+		sim := hwsim.New(pkg, hwsim.Options{Seed: opts.Seed})
+		eval = func(p partition.Partition) (float64, bool) { return sim.EvaluateThroughput(g, p) }
+	} else {
+		model := costmodel.New(pkg)
+		eval = func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
+	}
+	greedy := search.Greedy(g, pkg.Chips, pkg.SRAMBytes)
+	baseTh, ok := eval(greedy)
+	if !ok || baseTh <= 0 {
+		return nil, fmt.Errorf("mcmpart: greedy baseline is invalid on %s; the graph may not fit the package", g.Name())
+	}
+	if opts.Method == MethodGreedy {
+		return &Result{Partition: greedy, Throughput: baseTh, Improvement: 1, Samples: 1}, nil
+	}
+
+	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	switch opts.Method {
+	case MethodRandom:
+		search.Random(env, opts.SampleBudget, rng)
+	case MethodSA:
+		search.Anneal(env, opts.SampleBudget, search.SAConfig{}, rng)
+	case MethodRL:
+		policy := rl.NewPolicy(rl.QuickConfig(pkg.Chips), rng)
+		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
+		trainer.TrainUntil([]*rl.Env{env}, opts.SampleBudget)
+	default:
+		return nil, fmt.Errorf("mcmpart: unknown method %q", opts.Method)
+	}
+	if env.Best == nil {
+		return nil, fmt.Errorf("mcmpart: no valid partition found within %d samples", env.Samples)
+	}
+	return &Result{
+		Partition:   env.Best,
+		Throughput:  env.BestThroughput,
+		Improvement: env.BestImprovement(),
+		Samples:     env.Samples,
+	}, nil
+}
+
+// Evaluate runs a partition on the hardware simulator, returning throughput,
+// per-resource utilization and the dynamic-constraint verdict.
+func Evaluate(g *Graph, pkg *Package, p Partition) HardwareResult {
+	return hwsim.New(pkg, hwsim.Options{}).Evaluate(g, p)
+}
+
+// EstimateThroughput runs the analytical cost model (no memory checking).
+func EstimateThroughput(g *Graph, pkg *Package, p Partition) float64 {
+	return costmodel.New(pkg).Throughput(g, p)
+}
+
+// Validate checks a partition against the static hardware constraints.
+func Validate(g *Graph, pkg *Package, p Partition) error {
+	return p.Validate(g, pkg.Chips)
+}
