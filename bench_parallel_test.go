@@ -1,0 +1,80 @@
+// Benchmarks for the parallel execution engine: each hot path runs at
+// workers=1 and workers=default so `go test -bench=Parallel` shows the
+// pool's effect directly (cmd/mcmbench emits the same comparison as JSON
+// for the PR-over-PR trajectory in BENCH_PR*.json). On multi-core hardware
+// the default-workers variants should win; outputs are identical either
+// way, which TestWorkerCountDeterminism* pins down.
+package mcmpart_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmpart/internal/experiments"
+	"mcmpart/internal/mat"
+	"mcmpart/internal/parallel"
+	"mcmpart/internal/rl"
+)
+
+// workerVariants runs the benchmark body under workers=1 and the process
+// default worker count.
+func workerVariants(b *testing.B, body func(b *testing.B)) {
+	b.Helper()
+	for _, w := range []int{1, 0} {
+		name := "workers=1"
+		if w == 0 {
+			name = "workers=default"
+		}
+		b.Run(name, func(b *testing.B) {
+			old := parallel.Default()
+			parallel.SetDefault(w)
+			defer parallel.SetDefault(old)
+			body(b)
+		})
+	}
+}
+
+// BenchmarkParallelMatMul measures the blocked row-parallel kernel above
+// its fan-out threshold.
+func BenchmarkParallelMatMul(b *testing.B) {
+	const n = 320
+	rng := rand.New(rand.NewSource(1))
+	x, y, out := mat.New(n, n), mat.New(n, n), mat.New(n, n)
+	x.XavierInit(rng)
+	y.XavierInit(rng)
+	workerVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.Mul(out, x, y)
+		}
+	})
+}
+
+// BenchmarkParallelRollouts measures PPO rollout collection fan-out.
+func BenchmarkParallelRollouts(b *testing.B) {
+	workerVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(5))
+			env := ablationEnv(b, false)
+			policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
+			trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
+			trainer.TrainUntil([]*rl.Env{env}, 96)
+			b.ReportMetric(env.BestImprovement(), "best-x")
+		}
+	})
+}
+
+// BenchmarkParallelFig7Sampling measures the corpus-sampling fan-out of the
+// calibration study (per-worker solver replicas, per-sample seeds).
+func BenchmarkParallelFig7Sampling(b *testing.B) {
+	workerVariants(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Figure7(experiments.Fig7Config{
+				Scale: experiments.ScaleQuick, Seed: 1, Samples: 120,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.PearsonR, "pearson-R")
+		}
+	})
+}

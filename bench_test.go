@@ -154,6 +154,9 @@ func ablationEnv(b *testing.B, useSample bool) *rl.Env {
 	baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
 	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
 	env.UseSampleMode = useSample
+	env.PartFactory = func() (cpsolver.Partitioner, error) {
+		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	}
 	return env
 }
 

@@ -1,0 +1,186 @@
+// Command mcmbench measures the worker-pool speedups of the repository's
+// hot paths and writes them to a JSON file, so the performance trajectory
+// is tracked PR over PR (BENCH_PR1.json is the first point).
+//
+// Usage:
+//
+//	mcmbench [-out BENCH_PR1.json] [-workers N] [-iters N]
+//
+// Each benchmark runs the same seeded computation twice — once at
+// workers=1 and once at workers=N — reporting wall-clock for both, the
+// speedup, and whether the two runs produced identical outputs (they must:
+// the parallel engine's determinism contract says worker count changes
+// wall-clock only; see DESIGN.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/experiments"
+	"mcmpart/internal/mat"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/parallel"
+	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+	"mcmpart/internal/workload"
+)
+
+// Bench is one measured hot path.
+type Bench struct {
+	Name string `json:"name"`
+	// SerialMs and ParallelMs are wall-clock per run at workers=1 and
+	// workers=N respectively.
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// OutputsIdentical reports whether both runs produced bit-identical
+	// results — the determinism contract, checked, not assumed.
+	OutputsIdentical bool `json:"outputs_identical"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	PR      int     `json:"pr"`
+	CPUs    int     `json:"cpus"`
+	Workers int     `json:"workers"`
+	Benches []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to benchmark against workers=1")
+	iters := flag.Int("iters", 3, "timed repetitions per configuration (best is kept)")
+	flag.Parse()
+
+	rep := Report{PR: 1, CPUs: runtime.NumCPU(), Workers: *workers}
+	rep.Benches = append(rep.Benches,
+		benchMatMul(*workers, *iters),
+		benchRollouts(*workers, *iters),
+		benchFig7(*workers, *iters),
+		benchTable1(*workers, *iters),
+	)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	for _, b := range rep.Benches {
+		fmt.Printf("%-18s serial %8.1f ms   workers=%d %8.1f ms   speedup %.2fx   identical=%v\n",
+			b.Name, b.SerialMs, *workers, b.ParallelMs, b.Speedup, b.OutputsIdentical)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// measure times fn at the given default worker count, keeping the best of
+// iters runs, and returns the duration plus fn's output fingerprint.
+func measure(workers, iters int, fn func() float64) (ms float64, fingerprint float64) {
+	old := parallel.Default()
+	parallel.SetDefault(workers)
+	defer parallel.SetDefault(old)
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		fingerprint = fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e6, fingerprint
+}
+
+func bench(name string, workers, iters int, fn func() float64) Bench {
+	sMs, sFp := measure(1, iters, fn)
+	pMs, pFp := measure(workers, iters, fn)
+	b := Bench{Name: name, SerialMs: sMs, ParallelMs: pMs, OutputsIdentical: sFp == pFp}
+	if pMs > 0 {
+		b.Speedup = sMs / pMs
+	}
+	return b
+}
+
+// benchMatMul times the blocked row-parallel kernel on a policy-scale
+// product (320^3 multiply-adds per call, well above the fan-out threshold).
+func benchMatMul(workers, iters int) Bench {
+	const n = 320
+	rng := rand.New(rand.NewSource(1))
+	a, b, out := mat.New(n, n), mat.New(n, n), mat.New(n, n)
+	a.XavierInit(rng)
+	b.XavierInit(rng)
+	return bench("mat.Mul 320^3", workers, iters, func() float64 {
+		var sum float64
+		for k := 0; k < 30; k++ {
+			mat.Mul(out, a, b)
+			sum += out.At(n/2, n/2)
+		}
+		return sum
+	})
+}
+
+// benchRollouts times PPO rollout collection (the training hot path) on a
+// mid-size MLP over the analytical cost model.
+func benchRollouts(workers, iters int) Bench {
+	return bench("ppo.rollouts", workers, iters, func() float64 {
+		pkg := mcm.Dev8()
+		g := workload.MLP(workload.MLPConfig{Name: "bench", Layers: 10, Input: 512, Hidden: 2048, Output: 256, Batch: 32})
+		pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		model := costmodel.New(pkg)
+		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
+		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+		env.PartFactory = func() (cpsolver.Partitioner, error) {
+			return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+		}
+		rng := rand.New(rand.NewSource(5))
+		policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
+		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
+		trainer.TrainUntil([]*rl.Env{env}, 96)
+		return env.BestImprovement() + float64(env.Samples)
+	})
+}
+
+// benchFig7 times the calibration study's corpus sampling (solver replicas
+// fanning over random BERT partitions).
+func benchFig7(workers, iters int) Bench {
+	return bench("fig7.sampling", workers, iters, func() float64 {
+		res, err := experiments.Figure7(experiments.Fig7Config{
+			Scale: experiments.ScaleQuick, Seed: 1, Samples: 200,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return res.PearsonR + res.InvalidPct
+	})
+}
+
+// benchTable1 times the Table 1 evidence measurement (raw validity and
+// solver sampling rates).
+func benchTable1(workers, iters int) Bench {
+	return bench("table1.evidence", workers, iters, func() float64 {
+		res, err := experiments.Table1(1, 200)
+		if err != nil {
+			fatal(err)
+		}
+		return res.RawValidPct + res.SolverValidPct
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcmbench:", err)
+	os.Exit(1)
+}

@@ -2,26 +2,39 @@
 //
 // Usage:
 //
-//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|all [-scale quick|full] [-seed N]
+//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|all [-scale quick|full]
+//	       [-seed N] [-workers N]
 //
 // Quick scale (default) runs reduced budgets sized for one CPU core; full
 // scale runs the paper's budgets (see EXPERIMENTS.md for the mapping).
+//
+// -workers bounds the experiment fan-out (trials, rollout collection,
+// corpus sampling, large matmuls); it defaults to all CPUs. Results are
+// bit-for-bit identical for a given -seed at any -workers value — the
+// worker pool splits work by item index and derives each item's randomness
+// from (seed, index), so parallelism changes wall-clock only (see
+// DESIGN.md, "Parallel execution engine").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mcmpart/internal/experiments"
+	"mcmpart/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig5, table2, fig6, table3, fig7, all")
 	scaleFlag := flag.String("scale", "quick", "scale: quick or full")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"worker-pool size for trials/rollouts/sampling (results are identical at any value)")
 	flag.Parse()
 
+	parallel.SetDefault(*workers)
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)

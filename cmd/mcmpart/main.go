@@ -3,11 +3,16 @@
 // Usage:
 //
 //	mcmpart -graph model.json [-package edge36] [-method rl|random|sa|greedy]
-//	        [-budget 200] [-seed 1] [-sim] [-dot out.dot]
+//	        [-budget 200] [-seed 1] [-workers N] [-sim] [-dot out.dot]
 //
 // The graph JSON format is produced by cmd/mcmgen (or any tool emitting
 // {"name", "nodes", "edges"}; see internal/graph). The chosen partition is
 // printed as JSON on stdout together with its evaluation.
+//
+// -workers bounds the worker pool the RL method's rollout collection and
+// the math kernels fan out over (default: all CPUs). The chosen partition
+// is bit-for-bit identical for a given -seed at any -workers value; the
+// flag trades wall-clock only.
 package main
 
 import (
@@ -15,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mcmpart"
 	"mcmpart/internal/graph"
+	"mcmpart/internal/parallel"
 )
 
 func main() {
@@ -26,9 +33,13 @@ func main() {
 	method := flag.String("method", "rl", "partitioning method: greedy, random, sa, rl")
 	budget := flag.Int("budget", 200, "sample budget for search methods")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"worker-pool size for rollouts and kernels (results are identical at any value)")
 	sim := flag.Bool("sim", false, "evaluate candidates on the hardware simulator (slower, checks memory)")
 	dotPath := flag.String("dot", "", "also write the partitioned graph as Graphviz DOT")
 	flag.Parse()
+
+	parallel.SetDefault(*workers)
 
 	if *graphPath == "" {
 		fatal(fmt.Errorf("-graph is required"))

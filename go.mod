@@ -1,0 +1,3 @@
+module mcmpart
+
+go 1.24

@@ -1,0 +1,135 @@
+package cpsolver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allocSink defeats dead-code elimination in the AllocsPerRun bodies.
+var allocSink int
+
+// TestDomainForEachZeroAlloc pins the zero-allocation contract of the hot
+// iteration form: Values() builds a slice per call, ForEach must not.
+func TestDomainForEachZeroAlloc(t *testing.T) {
+	d := Domain(0b1011010110)
+	allocs := testing.AllocsPerRun(200, func() {
+		sum := 0
+		d.ForEach(func(c int) bool {
+			sum += c
+			return true
+		})
+		allocSink = sum
+	})
+	if allocs != 0 {
+		t.Fatalf("Domain.ForEach allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestDomainForEachOrderAndEarlyStop(t *testing.T) {
+	d := Domain(0b101101)
+	var got []int
+	d.ForEach(func(c int) bool {
+		got = append(got, c)
+		return true
+	})
+	want := d.Values()
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, Values %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, Values %v", got, want)
+		}
+	}
+	visits := 0
+	d.ForEach(func(c int) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Fatalf("early stop visited %d chips, want 2", visits)
+	}
+}
+
+// TestSampleValueZeroAlloc pins the solver's value-sampling path (the inner
+// loop of every Sample/Fix solve) to zero allocations.
+func TestSampleValueZeroAlloc(t *testing.T) {
+	g := chain(t, 40)
+	s, err := New(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	row := make([]float64, 8)
+	for i := range row {
+		row[i] = 1.0 / 8
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		allocSink = s.sampleValue(rng, row, 20)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampleValue allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestAssignResetSteadyStateAllocs pins the decide/propagate/undo cycle —
+// the loop a solve spends its life in — to zero steady-state allocations:
+// the trail, decision stack, and propagation queue must reuse their
+// capacity across Reset.
+func TestAssignResetSteadyStateAllocs(t *testing.T) {
+	g := chain(t, 60)
+	s, err := New(g, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := s.TopoOrder()
+	cycle := func() {
+		s.Reset()
+		i := 0
+		for i < len(order) {
+			u := order[i]
+			n, err := s.Assign(u, s.doms[u].Min())
+			if err != nil {
+				t.Fatal(err)
+			}
+			i = n
+		}
+	}
+	cycle() // warm-up: grow trail/decisions/queue to steady capacity
+	allocs := testing.AllocsPerRun(50, cycle)
+	if allocs != 0 {
+		t.Fatalf("Assign/Reset cycle allocated %.1f objects/op after warm-up, want 0", allocs)
+	}
+}
+
+// TestSegmenterSampleSteadyStateAllocs bounds the per-sample allocations of
+// the segment sampler after warm-up: the DP tables (logPS, alpha) and the
+// Fit hint matrix must be reused, leaving only the emitted partition and
+// the per-call boundary sampling.
+func TestSegmenterSampleSteadyStateAllocs(t *testing.T) {
+	g := chain(t, 400)
+	sg, err := NewSegmenter(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, err := sg.Sample(nil, rng); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		p, err := sg.Sample(nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocSink = int(p[len(p)-1])
+	})
+	// Allowed per-call allocations: the emitted partition's backing array
+	// and the O(chips) scratch of the defense-in-depth Validate audit
+	// (used/adjacency/longest-path tables). The DP tables themselves
+	// (logPS, alpha, weights — O(chips*N) floats) must be reused: a
+	// regression there blows far past this ceiling on a 400-node chain.
+	ceiling := 3*8 + 8
+	if int(allocs) > ceiling {
+		t.Fatalf("Segmenter.Sample allocated %.1f objects/op after warm-up, want <= %d", allocs, ceiling)
+	}
+}

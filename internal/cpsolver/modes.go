@@ -241,7 +241,7 @@ func (s *Solver) withRestarts(order []int, rng *rand.Rand, attempt func([]int) (
 // isTopological reports whether the order visits every edge's producer
 // before its consumer.
 func (s *Solver) isTopological(order []int) bool {
-	pos := make([]int, len(order))
+	pos := s.posOf
 	for i, v := range order {
 		pos[v] = i
 	}
@@ -299,7 +299,10 @@ func (s *Solver) checkOrder(order []int) error {
 	if len(order) != n {
 		return fmt.Errorf("cpsolver: order has %d entries for %d nodes", len(order), n)
 	}
-	seen := make([]bool, n)
+	seen := s.orderSeen
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, u := range order {
 		if u < 0 || u >= n || seen[u] {
 			return fmt.Errorf("cpsolver: order is not a permutation (node %d)", u)

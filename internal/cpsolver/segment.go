@@ -41,8 +41,18 @@ type Segmenter struct {
 	// boundary at gap g cuts every edge span containing g, and no edge
 	// may cross two boundaries. It is nondecreasing.
 	next []int32
-	// logPS is scratch for per-chip prefix sums of log P.
-	logPS [][]float64
+	// Per-call scratch, lazily sized and reused across samples so the hot
+	// sampling loop stops allocating (a BERT-scale alpha table alone is
+	// ~600 KB per call): logPS holds per-chip prefix sums of log P, alpha
+	// the forward-DP table, boundsBuf the sampled boundary gaps, and
+	// fitProbs/fitFlat the hint matrix Fit builds. A Segmenter is therefore
+	// not safe for concurrent use; parallel callers use replicas.
+	logPS     [][]float64
+	alpha     [][]float64
+	boundsBuf []int
+	wScratch  []float64
+	fitProbs  [][]float64
+	fitFlat   []float64
 }
 
 // NewSegmenter prepares a segmenter for the graph on the given chip count.
@@ -167,10 +177,15 @@ func (sg *Segmenter) Sample(probs [][]float64, rng *rand.Rand) (partition.Partit
 	// alpha[0][g] = ps[0][g]; alpha[k][g] = ps[k][g] + LSE over feasible
 	// g' (next[g'] <= g) of (alpha[k-1][g'] - ps[k][g']).
 	nb := c - 1 // number of boundaries
-	alpha := make([][]float64, nb)
-	for k := range alpha {
-		alpha[k] = make([]float64, n-1)
+	if sg.alpha == nil {
+		sg.alpha = make([][]float64, nb)
+		for k := range sg.alpha {
+			sg.alpha[k] = make([]float64, n-1)
+		}
+		sg.boundsBuf = make([]int, nb)
+		sg.wScratch = make([]float64, n-1)
 	}
+	alpha := sg.alpha
 	for g := 0; g < n-1; g++ {
 		alpha[0][g] = ps[0][g]
 	}
@@ -201,12 +216,14 @@ func (sg *Segmenter) Sample(probs [][]float64, rng *rand.Rand) (partition.Partit
 		}
 	}
 	// Sample the last boundary: weight = alpha[nb-1][g] + tail segment on
-	// chip c-1 (positions g+1..n-1).
-	bounds := make([]int, nb)
-	tail := func(g int) float64 { return ps[c-1][n-1] - ps[c-1][g] }
-	g, err := sampleLogWeights(rng, n-1, func(g int) float64 {
-		return alpha[nb-1][g] + tail(g)
-	})
+	// chip c-1 (positions g+1..n-1). Weights stream through the reused
+	// scratch slice; building closures here would allocate per boundary.
+	bounds := sg.boundsBuf
+	w := sg.wScratch
+	for g := 0; g < n-1; g++ {
+		w[g] = alpha[nb-1][g] + ps[c-1][n-1] - ps[c-1][g]
+	}
+	g, err := sampleLogWeights(rng, w)
 	if err != nil {
 		return nil, fmt.Errorf("cpsolver: segment DP infeasible: %w", err)
 	}
@@ -215,12 +232,14 @@ func (sg *Segmenter) Sample(probs [][]float64, rng *rand.Rand) (partition.Partit
 	// alpha[k-1][g'] - ps[k][g'] over feasible g' (next[g'] <= g).
 	for k := nb - 1; k >= 1; k-- {
 		gk := bounds[k]
-		g, err := sampleLogWeights(rng, n-1, func(gp int) float64 {
+		for gp := 0; gp < n-1; gp++ {
 			if int(sg.next[gp]) > gk {
-				return math.Inf(-1)
+				w[gp] = math.Inf(-1)
+			} else {
+				w[gp] = alpha[k-1][gp] - ps[k][gp]
 			}
-			return alpha[k-1][gp] - ps[k][gp]
-		})
+		}
+		g, err := sampleLogWeights(rng, w)
 		if err != nil {
 			return nil, fmt.Errorf("cpsolver: segment DP backward step failed: %w", err)
 		}
@@ -239,11 +258,15 @@ func (sg *Segmenter) Fit(y []int, rng *rand.Rand) (partition.Partition, error) {
 		return nil, fmt.Errorf("cpsolver: hint has %d entries for %d nodes", len(y), n)
 	}
 	const agree, disagree = 1.0, 1e-9
-	probs := make([][]float64, n)
-	row := make([]float64, sg.chips*n)
+	if sg.fitProbs == nil {
+		sg.fitProbs = make([][]float64, n)
+		sg.fitFlat = make([]float64, sg.chips*n)
+		for u := 0; u < n; u++ {
+			sg.fitProbs[u] = sg.fitFlat[u*sg.chips : (u+1)*sg.chips]
+		}
+	}
+	probs := sg.fitProbs
 	for u := 0; u < n; u++ {
-		probs[u] = row[u*sg.chips : (u+1)*sg.chips]
-		_ = probs[u][sg.chips-1]
 		for k := range probs[u] {
 			probs[u][k] = disagree
 		}
@@ -272,13 +295,13 @@ func (sg *Segmenter) emit(bounds []int) (partition.Partition, error) {
 	return p, nil
 }
 
-// sampleLogWeights draws an index in [0,n) with probability proportional to
-// exp(w(i)), streaming in one pass (weighted reservoir via Gumbel trick).
-func sampleLogWeights(rng *rand.Rand, n int, w func(int) float64) (int, error) {
+// sampleLogWeights draws an index in [0,len(w)) with probability
+// proportional to exp(w[i]), streaming in one pass (weighted reservoir via
+// the Gumbel trick). It allocates nothing; callers reuse the weight slice.
+func sampleLogWeights(rng *rand.Rand, w []float64) (int, error) {
 	best := -1
 	bestKey := math.Inf(-1)
-	for i := 0; i < n; i++ {
-		wi := w(i)
+	for i, wi := range w {
 		if math.IsInf(wi, -1) {
 			continue
 		}

@@ -145,6 +145,10 @@ type Solver struct {
 	// Scratch queue for propagation.
 	queue []int32
 	inQ   []bool
+	// Per-solve scratch reused across Sample/Fix calls so the hot loop
+	// settles to zero allocations after warm-up.
+	orderSeen []bool
+	posOf     []int
 
 	stats      Stats
 	backtracks int // against btLimit, reset per attempt
@@ -170,13 +174,15 @@ func New(g *graph.Graph, chips int, opts Options) (*Solver, error) {
 	}
 	n := g.NumNodes()
 	s := &Solver{
-		g:       g,
-		chips:   chips,
-		opts:    opts,
-		doms:    make([]Domain, n),
-		bound:   make([]bool, n),
-		chipAdj: make([]Domain, chips),
-		inQ:     make([]bool, n),
+		g:         g,
+		chips:     chips,
+		opts:      opts,
+		doms:      make([]Domain, n),
+		bound:     make([]bool, n),
+		chipAdj:   make([]Domain, chips),
+		inQ:       make([]bool, n),
+		orderSeen: make([]bool, n),
+		posOf:     make([]int, n),
 	}
 	s.adjCount = make([][]int32, chips)
 	for i := range s.adjCount {

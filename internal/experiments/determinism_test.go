@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// det5Cfg returns a Figure 5 configuration small enough to run twice in a
+// unit test while still exercising every stage: pre-training, validation
+// checkpoint scoring, and all five methods on the test graphs.
+func det5Cfg(workers int) Fig5Config {
+	return Fig5Config{
+		Scale:           ScaleQuick,
+		Seed:            1,
+		SampleBudget:    30,
+		PretrainSamples: 60,
+		TestGraphs:      2,
+		TrainGraphs:     2,
+		Workers:         workers,
+	}
+}
+
+// TestFigure5WorkerCountDeterminism pins the experiment engine's contract
+// end to end: a full Figure 5 run — PPO pre-training with fanned rollouts,
+// parallel checkpoint validation, and concurrent (graph, method) trials —
+// produces bit-identical curves at workers=1 and workers=8.
+func TestFigure5WorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Figure 5 runs")
+	}
+	r1, err := Figure5(det5Cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Figure5(det5Cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods {
+		if !reflect.DeepEqual(r1.Curves[m], r8.Curves[m]) {
+			t.Fatalf("%s curve differs between workers=1 and workers=8", m)
+		}
+	}
+	if !reflect.DeepEqual(r1.Pretrained.Scores, r8.Pretrained.Scores) {
+		t.Fatalf("validation scores differ: %v vs %v", r1.Pretrained.Scores, r8.Pretrained.Scores)
+	}
+	if r1.Pretrained.BestIndex != r8.Pretrained.BestIndex {
+		t.Fatalf("selected checkpoint differs: %d vs %d", r1.Pretrained.BestIndex, r8.Pretrained.BestIndex)
+	}
+}
+
+// TestFigure7WorkerCountDeterminism pins the sampling fan-out: the scatter,
+// correlation, and invalid rate are identical at workers=1 and workers=8.
+func TestFigure7WorkerCountDeterminism(t *testing.T) {
+	cfg := func(w int) Fig7Config {
+		return Fig7Config{Scale: ScaleQuick, Seed: 1, Samples: 60, Workers: w}
+	}
+	r1, err := Figure7(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Figure7(cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Predicted, r8.Predicted) || !reflect.DeepEqual(r1.Measured, r8.Measured) {
+		t.Fatal("calibration scatter differs between workers=1 and workers=8")
+	}
+	if r1.PearsonR != r8.PearsonR || r1.InvalidPct != r8.InvalidPct {
+		t.Fatalf("summary stats differ: R %v vs %v, invalid %v vs %v",
+			r1.PearsonR, r8.PearsonR, r1.InvalidPct, r8.InvalidPct)
+	}
+}
+
+// TestFigure6WorkerCountDeterminism pins the per-method trial fan-out on a
+// reduced BERT budget, reusing one tiny pre-training run for both.
+func TestFigure6WorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two BERT trial sweeps")
+	}
+	f5, err := Figure5(det5Cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w int) *Fig6Result {
+		res, err := Figure6(Fig6Config{
+			Scale:        ScaleQuick,
+			Seed:         1,
+			SampleBudget: 24,
+			Pretrained:   f5.Pretrained,
+			PolicyCfg:    f5.PolicyCfg,
+			Workers:      w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r8 := run(1), run(8)
+	for _, m := range Methods {
+		if !reflect.DeepEqual(r1.Curves[m], r8.Curves[m]) {
+			t.Fatalf("%s BERT curve differs between workers=1 and workers=8", m)
+		}
+	}
+}

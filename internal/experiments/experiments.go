@@ -75,7 +75,8 @@ func (a simAdapter) Evaluate(g *graph.Graph, p partition.Partition) (float64, bo
 }
 
 // newEnv wires a graph to a partitioner, an evaluator and the greedy
-// baseline, producing an RL/search environment.
+// baseline, producing an RL/search environment. The partitioner factory
+// enables concurrent rollout collection (one solver replica per worker).
 func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
 	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
 	if err != nil {
@@ -89,6 +90,9 @@ func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
 	}
 	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
 	env.UseSampleMode = true
+	env.PartFactory = func() (cpsolver.Partitioner, error) {
+		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	}
 	return env, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mcm"
+	"mcmpart/internal/parallel"
 	"mcmpart/internal/pretrain"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
@@ -30,6 +31,10 @@ type Fig5Config struct {
 	// TrainGraphs caps how many of the 66 training graphs the quick scale
 	// uses (0 = all).
 	TrainGraphs int
+	// Workers bounds the trial fan-out (0 = process default). Trials are
+	// seeded per (graph, method) item, so results are identical at any
+	// worker count.
+	Workers int
 }
 
 // withDefaults fills the scale-dependent budgets.
@@ -94,13 +99,16 @@ func Figure5(cfg Fig5Config) (*Fig5Result, error) {
 		train = train[:cfg.TrainGraphs]
 	}
 	factory := func(g *graph.Graph) (*rl.Env, error) { return newEnv(g, cfg.Pkg, ev) }
+	ppoCfg := ppoConfig(cfg.Scale)
+	ppoCfg.Workers = cfg.Workers
 	pre, err := pretrain.Run(train, ds.Validation, factory, pretrain.Config{
 		Policy:            policyCfg,
-		PPO:               ppoConfig(cfg.Scale),
+		PPO:               ppoCfg,
 		TotalSamples:      cfg.PretrainSamples,
 		Checkpoints:       10,
 		ValidationSamples: 8,
 		Seed:              cfg.Seed,
+		Workers:           cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -117,19 +125,37 @@ func Figure5(cfg Fig5Config) (*Fig5Result, error) {
 		Pretrained: pre,
 		PolicyCfg:  policyCfg,
 	}
-	histories := make(map[Method][][]float64)
-	for gi, g := range test {
-		seed := cfg.Seed + int64(gi)*101
-		for _, m := range Methods {
-			env, err := newEnv(g, cfg.Pkg, ev)
-			if err != nil {
-				return nil, err
-			}
-			if err := runMethod(m, env, policyCfg, ppoConfig(cfg.Scale), pre, cfg.SampleBudget, seed); err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", m, g.Name(), err)
-			}
-			histories[m] = append(histories[m], env.History)
+	// The (graph, method) trials are independent — each builds its own
+	// environment and derives its RNG from the pair's fixed seed — so they
+	// fan out across the worker pool with results assembled in index order.
+	// Nested rollout fan-out is disabled while trials themselves run
+	// concurrently; by the determinism contract that changes wall-clock
+	// only, never results.
+	items := len(test) * len(Methods)
+	workers := parallel.Resolve(cfg.Workers, items)
+	trialPPO := ppoConfig(cfg.Scale)
+	if workers > 1 {
+		trialPPO.Workers = 1
+	}
+	hists, err := parallel.MapErr(workers, items, func(idx int) ([]float64, error) {
+		gi, mi := idx/len(Methods), idx%len(Methods)
+		g, m := test[gi], Methods[mi]
+		env, err := newEnv(g, cfg.Pkg, ev)
+		if err != nil {
+			return nil, err
 		}
+		seed := cfg.Seed + int64(gi)*101
+		if err := runMethod(m, env, policyCfg, trialPPO, pre, cfg.SampleBudget, seed); err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", m, g.Name(), err)
+		}
+		return env.History, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	histories := make(map[Method][][]float64)
+	for idx, h := range hists {
+		histories[Methods[idx%len(Methods)]] = append(histories[Methods[idx%len(Methods)]], h)
 	}
 	for _, m := range Methods {
 		res.Curves[m] = stats.GeomeanCurves(histories[m], cfg.SampleBudget)

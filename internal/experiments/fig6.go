@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcmpart/internal/mcm"
+	"mcmpart/internal/parallel"
 	"mcmpart/internal/pretrain"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/stats"
@@ -26,6 +27,9 @@ type Fig6Config struct {
 	// SecondsPerSample converts sample counts to the paper's wall-clock
 	// framing (the paper measured 26.97 s per hardware sample).
 	SecondsPerSample float64
+	// Workers bounds the per-method trial fan-out (0 = process default);
+	// results are identical at any worker count.
+	Workers int
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -69,7 +73,7 @@ func Figure6(cfg Fig6Config) (*Fig6Result, error) {
 	pre := cfg.Pretrained
 	policyCfg := cfg.PolicyCfg
 	if pre == nil {
-		f5, err := Figure5(Fig5Config{Scale: cfg.Scale, Seed: cfg.Seed, Pkg: cfg.Pkg})
+		f5, err := Figure5(Fig5Config{Scale: cfg.Scale, Seed: cfg.Seed, Pkg: cfg.Pkg, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: pre-training for Figure 6: %w", err)
 		}
@@ -82,17 +86,34 @@ func Figure6(cfg Fig6Config) (*Fig6Result, error) {
 		Curves: make(map[Method][]float64),
 		Final:  make(map[Method]float64),
 	}
-	for mi, m := range Methods {
+	// The five strategies are independent trials: each gets its own
+	// environment and a seed derived from its method index, so they fan out
+	// across workers with results identical to a serial run.
+	workers := parallel.Resolve(cfg.Workers, len(Methods))
+	trialPPO := ppoConfig(cfg.Scale)
+	if workers > 1 {
+		trialPPO.Workers = 1
+	} else {
+		trialPPO.Workers = cfg.Workers
+	}
+	hists, err := parallel.MapErr(workers, len(Methods), func(mi int) ([]float64, error) {
+		m := Methods[mi]
 		env, err := newEnv(bert, cfg.Pkg, ev)
 		if err != nil {
 			return nil, err
 		}
 		seed := cfg.Seed + int64(mi)*733
-		if err := runMethod(m, env, policyCfg, ppoConfig(cfg.Scale), pre, cfg.SampleBudget, seed); err != nil {
+		if err := runMethod(m, env, policyCfg, trialPPO, pre, cfg.SampleBudget, seed); err != nil {
 			return nil, fmt.Errorf("experiments: %s on BERT: %w", m, err)
 		}
+		return env.History, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range Methods {
 		// Single graph: the curve is the environment history itself.
-		res.Curves[m] = stats.GeomeanCurves([][]float64{env.History}, cfg.SampleBudget)
+		res.Curves[m] = stats.GeomeanCurves([][]float64{hists[mi]}, cfg.SampleBudget)
 		res.Final[m] = res.Curves[m][len(res.Curves[m])-1]
 	}
 	res.RLvsRandomPct = 100 * (res.Final[MethodRL]/res.Final[MethodRandom] - 1)

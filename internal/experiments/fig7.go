@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/hwsim"
 	"mcmpart/internal/mcm"
+	"mcmpart/internal/parallel"
 	"mcmpart/internal/stats"
 	"mcmpart/internal/workload"
 )
@@ -22,6 +22,10 @@ type Fig7Config struct {
 	// Samples is the number of random solver-valid BERT partitions
 	// (paper: 2000).
 	Samples int
+	// Workers bounds the sampling fan-out (0 = process default). Samples
+	// are seeded per index and drawn on per-worker partitioner replicas,
+	// so the scatter is identical at any worker count.
+	Workers int
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -70,27 +74,52 @@ func Figure7(cfg Fig7Config) (*Fig7Result, error) {
 	}
 	model := costmodel.New(cfg.Pkg)
 	sim := hwsim.New(cfg.Pkg, hwsim.Options{Seed: cfg.Seed})
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Draw, predict, and measure samples across the worker pool: sample i
+	// derives its RNG from (Seed, i), and each worker solves on its own
+	// partitioner replica, so the scatter is worker-count independent.
+	// Results assemble in index order below.
 	res := &Fig7Result{Cfg: cfg}
-	invalid := 0
-	var predAll []float64 // predictions for all samples, to find the median
-	var validMask []bool
-	for i := 0; i < cfg.Samples; i++ {
-		p, err := pr.SampleMode(nil, rng)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sample %d: %w", i, err)
+	predAll := make([]float64, cfg.Samples)
+	intervals := make([]float64, cfg.Samples)
+	validMask := make([]bool, cfg.Samples)
+	workers := parallel.Resolve(cfg.Workers, cfg.Samples)
+	errs := make([]error, workers)
+	parallel.ForEachBlock(workers, cfg.Samples, func(w, lo, hi int) {
+		part := pr
+		if workers > 1 {
+			replica, err := cpsolver.NewAuto(bert, cfg.Pkg.Chips, cpsolver.Options{})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			part = replica
 		}
-		pred := model.Latency(bert, p)
-		m := sim.Measure(bert, p, 0)
-		predAll = append(predAll, pred)
-		validMask = append(validMask, m.Valid)
-		if !m.Valid {
+		for i := lo; i < hi; i++ {
+			p, err := part.SampleMode(nil, parallel.Rng(cfg.Seed, i))
+			if err != nil {
+				errs[w] = fmt.Errorf("experiments: sample %d: %w", i, err)
+				return
+			}
+			predAll[i] = model.Latency(bert, p)
+			m := sim.Measure(bert, p, 0)
+			validMask[i] = m.Valid
+			intervals[i] = m.Interval
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	invalid := 0
+	for i := 0; i < cfg.Samples; i++ {
+		if !validMask[i] {
 			invalid++
 			continue
 		}
-		res.Predicted = append(res.Predicted, pred)
-		res.Measured = append(res.Measured, m.Interval)
+		res.Predicted = append(res.Predicted, predAll[i])
+		res.Measured = append(res.Measured, intervals[i])
 	}
 	res.InvalidPct = 100 * float64(invalid) / float64(cfg.Samples)
 	// Normalize both axes to their minima, as the paper plots them.

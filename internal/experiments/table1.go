@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/mcm"
+	"mcmpart/internal/parallel"
 	"mcmpart/internal/partition"
 	"mcmpart/internal/workload"
 )
@@ -30,43 +30,74 @@ type Table1Result struct {
 }
 
 // Table1 measures the evidence on a mid-size corpus graph over the Edge36
-// package.
+// package. Both measurement loops fan out across the worker pool with
+// per-sample seeds, so the rates are identical at any worker count (only
+// the measured per-sample latency reflects the parallelism).
 func Table1(seed int64, samples int) (*Table1Result, error) {
 	if samples <= 0 {
 		samples = 200
 	}
 	pkg := mcm.Edge36()
 	g := workload.CorpusGraphs(seed)[1] // a residual CNN: skip edges galore
-	rng := rand.New(rand.NewSource(seed))
 	res := &Table1Result{}
 
-	rawValid := 0
-	y := make(partition.Partition, g.NumNodes())
-	for i := 0; i < samples; i++ {
-		for j := range y {
-			y[j] = rng.Intn(pkg.Chips)
+	workers := parallel.Resolve(0, samples)
+	rawOK := make([]bool, samples)
+	parallel.ForEachBlock(workers, samples, func(_, lo, hi int) {
+		y := make(partition.Partition, g.NumNodes())
+		for i := lo; i < hi; i++ {
+			rng := parallel.Rng(seed, i)
+			for j := range y {
+				y[j] = rng.Intn(pkg.Chips)
+			}
+			rawOK[i] = y.Validate(g, pkg.Chips) == nil
 		}
-		if y.Validate(g, pkg.Chips) == nil {
-			rawValid++
-		}
-	}
-	res.RawValidPct = 100 * float64(rawValid) / float64(samples)
+	})
+	res.RawValidPct = 100 * float64(count(rawOK)) / float64(samples)
 
 	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
 	if err != nil {
 		return nil, err
 	}
-	solverValid := 0
-	start := time.Now()
-	for i := 0; i < samples; i++ {
-		p, err := pr.SampleMode(nil, rng)
-		if err == nil && p.Validate(g, pkg.Chips) == nil {
-			solverValid++
+	solverOK := make([]bool, samples)
+	// Per-sample solve time is summed across workers (each sample timed
+	// individually), so the reported ms/sample is the true cost of one
+	// solve, independent of how many cores ran the loop.
+	solveNs := make([]int64, workers)
+	parallel.ForEachBlock(workers, samples, func(w, lo, hi int) {
+		part := pr
+		if workers > 1 {
+			replica, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+			if err != nil {
+				return // leaves the block's samples invalid; rates reveal it
+			}
+			part = replica
+		}
+		for i := lo; i < hi; i++ {
+			rng := parallel.Rng(seed+1, i)
+			start := time.Now()
+			p, err := part.SampleMode(nil, rng)
+			solveNs[w] += time.Since(start).Nanoseconds()
+			solverOK[i] = err == nil && p.Validate(g, pkg.Chips) == nil
+		}
+	})
+	var totalNs int64
+	for _, ns := range solveNs {
+		totalNs += ns
+	}
+	res.SolverMsPerSample = float64(totalNs) / 1e6 / float64(samples)
+	res.SolverValidPct = 100 * float64(count(solverOK)) / float64(samples)
+	return res, nil
+}
+
+func count(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
 		}
 	}
-	res.SolverMsPerSample = float64(time.Since(start).Milliseconds()) / float64(samples)
-	res.SolverValidPct = 100 * float64(solverValid) / float64(samples)
-	return res, nil
+	return n
 }
 
 // Format prints Table 1 with the measured evidence appended.

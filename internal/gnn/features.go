@@ -10,6 +10,7 @@ import (
 
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mat"
+	"mcmpart/internal/parallel"
 )
 
 // FeatureDim is the width of the static node-feature vector: a one-hot
@@ -110,30 +111,41 @@ func BuildAdjacency(g *graph.Graph) *Adjacency {
 func (a *Adjacency) NumNodes() int { return len(a.invDeg) }
 
 // aggregate computes out[v] = mean over neighbors u of in[u] (zero for
-// isolated nodes). out and in must be N x D and distinct.
+// isolated nodes). out and in must be N x D and distinct. Output rows are
+// independent, so large graphs split rows across the worker pool with
+// results identical at any worker count.
 func (a *Adjacency) aggregate(out, in *mat.Dense) {
 	out.Zero()
 	d := in.Cols
-	for v := 0; v < a.NumNodes(); v++ {
-		ov := out.Data[v*d : (v+1)*d]
-		w := a.invDeg[v]
-		if w == 0 {
-			continue
-		}
-		for _, u := range a.neigh[a.offsets[v]:a.offsets[v+1]] {
-			iu := in.Data[int(u)*d : (int(u)+1)*d]
-			for j, x := range iu {
-				ov[j] += x
+	n := a.NumNodes()
+	extra := 0
+	if flops := len(a.neigh) * d; flops >= mat.ParallelFlopThreshold {
+		extra = parallel.AcquireLanes(parallel.Resolve(0, n) - 1)
+		defer parallel.ReleaseLanes(extra)
+	}
+	parallel.ForEachBlock(extra+1, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			ov := out.Data[v*d : (v+1)*d]
+			w := a.invDeg[v]
+			if w == 0 {
+				continue
+			}
+			for _, u := range a.neigh[a.offsets[v]:a.offsets[v+1]] {
+				iu := in.Data[int(u)*d : (int(u)+1)*d]
+				for j, x := range iu {
+					ov[j] += x
+				}
+			}
+			for j := range ov {
+				ov[j] *= w
 			}
 		}
-		for j := range ov {
-			ov[j] *= w
-		}
-	}
+	})
 }
 
 // scatterAdd computes out[u] += sum over v with u in N(v) of in[v]*invDeg(v)
-// — the transpose of aggregate, used in backprop.
+// — the transpose of aggregate, used in backprop. Writes scatter across out
+// rows, so this stays serial (an AXPY per neighbor row).
 func (a *Adjacency) scatterAdd(out, in *mat.Dense) {
 	d := in.Cols
 	for v := 0; v < a.NumNodes(); v++ {
@@ -143,10 +155,7 @@ func (a *Adjacency) scatterAdd(out, in *mat.Dense) {
 		}
 		iv := in.Data[v*d : (v+1)*d]
 		for _, u := range a.neigh[a.offsets[v]:a.offsets[v+1]] {
-			ou := out.Data[int(u)*d : (int(u)+1)*d]
-			for j, x := range iv {
-				ou[j] += w * x
-			}
+			mat.Axpy(w, iv, out.Data[int(u)*d:(int(u)+1)*d])
 		}
 	}
 }

@@ -98,9 +98,7 @@ func (s *SAGE) Forward(adj *Adjacency, x *mat.Dense) *mat.Dense {
 		adj.aggregate(agg, h)
 		out := s.outs[l]
 		mat.Mul(out, h, s.wSelf[l].Value)
-		tmp := mat.New(n, s.Hidden)
-		mat.Mul(tmp, agg, s.wNeigh[l].Value)
-		out.Add(tmp)
+		mat.MulAdd(out, agg, s.wNeigh[l].Value)
 		out.AddRowVector(s.bias[l].Value.Data)
 		nn.ReLU(out, out)
 		s.ins[l+1] = out
@@ -123,12 +121,9 @@ func (s *SAGE) Backward(dOut *mat.Dense) {
 		}
 		// Through the ReLU.
 		nn.ReLUBackward(s.dz, d, s.outs[l])
-		// Parameter gradients.
-		wsg := mat.New(inDim, s.Hidden)
-		mat.MulATB(wsg, s.ins[l], s.dz)
-		s.wSelf[l].Grad.Add(wsg)
-		mat.MulATB(wsg, s.aggs[l], s.dz)
-		s.wNeigh[l].Grad.Add(wsg)
+		// Parameter gradients, accumulated in place (fused aᵀ@b += form).
+		mat.MulATBAcc(s.wSelf[l].Grad, s.ins[l], s.dz)
+		mat.MulATBAcc(s.wNeigh[l].Grad, s.aggs[l], s.dz)
 		s.dz.ColSums(s.bias[l].Grad.Data)
 		if l == 0 {
 			return // input features are static; no gradient needed

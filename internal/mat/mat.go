@@ -70,26 +70,48 @@ func (m *Dense) mustSameShape(o *Dense) {
 
 // Mul computes out = a @ b. out must be preallocated a.Rows x b.Cols and is
 // overwritten. The i-k-j loop order keeps the inner loop sequential over
-// both b and out for cache friendliness.
+// both b and out for cache friendliness. Large products split output rows
+// across the worker pool (see parallel.go); results are identical at any
+// worker count.
 func Mul(out, a, b *Dense) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: Mul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
 	}
 	out.Zero()
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
-		or := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range br {
-				or[j] += av * bv
+	mulRows(out, a, b)
+}
+
+// MulAdd computes out += a @ b: the fused form of Mul for accumulation
+// chains (e.g. h@Wself + agg@Wneigh in the GraphSAGE layer), saving callers
+// a temporary and a second pass over out.
+func MulAdd(out, a, b *Dense) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulAdd shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	mulRows(out, a, b)
+}
+
+// mulRows accumulates out += a @ b, row-parallel above the flop threshold.
+// Each output row depends only on the matching row of a, so splitting rows
+// across workers preserves the serial accumulation order exactly.
+func mulRows(out, a, b *Dense) {
+	rowRange(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+			or := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for k, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range br {
+					or[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MulATB computes out = aᵀ @ b (a is k x m, b is k x n, out is m x n).
@@ -99,19 +121,39 @@ func MulATB(out, a, b *Dense) {
 			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
 	}
 	out.Zero()
-	for k := 0; k < a.Rows; k++ {
-		ar := a.Data[k*a.Cols : (k+1)*a.Cols]
-		br := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
+	mulATBRows(out, a, b)
+}
+
+// MulATBAcc computes out += aᵀ @ b: the fused form of MulATB used by the
+// backward passes to accumulate weight gradients directly into Param.Grad,
+// eliminating the per-layer scratch product and its extra pass.
+func MulATBAcc(out, a, b *Dense) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulATBAcc shape mismatch (%dx%d)ᵀ@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	mulATBRows(out, a, b)
+}
+
+// mulATBRows accumulates out += aᵀ @ b over blocks of output rows. Output
+// row i reads column i of a, so rows are independent and every out element
+// accumulates over k in ascending order regardless of the split.
+func mulATBRows(out, a, b *Dense) {
+	rowRange(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			or := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range br {
-				or[j] += av * bv
+			for k := 0; k < a.Rows; k++ {
+				av := a.Data[k*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				br := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range br {
+					or[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MulABT computes out = a @ bᵀ (a is m x k, b is n x k, out is m x n).
@@ -120,17 +162,30 @@ func MulABT(out, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulABT shape mismatch (%dx%d)@(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Data[i*a.Cols : (i+1)*a.Cols]
-		or := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for j := 0; j < b.Rows; j++ {
-			br := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float64
-			for k, av := range ar {
-				sum += av * br[k]
+	rowRange(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+			or := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j := 0; j < b.Rows; j++ {
+				br := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var sum float64
+				for k, av := range ar {
+					sum += av * br[k]
+				}
+				or[j] = sum
 			}
-			or[j] = sum
 		}
+	})
+}
+
+// Axpy computes y += s * x over raw slices — the scalar-vector kernel the
+// aggregation and optimizer loops share. x and y must have equal length.
+func Axpy(s float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += s * v
 	}
 }
 
@@ -145,9 +200,7 @@ func (m *Dense) Add(o *Dense) {
 // AddScaled computes m += s * o elementwise.
 func (m *Dense) AddScaled(s float64, o *Dense) {
 	m.mustSameShape(o)
-	for i, v := range o.Data {
-		m.Data[i] += s * v
-	}
+	Axpy(s, o.Data, m.Data)
 }
 
 // Scale multiplies every element by s.

@@ -1,0 +1,31 @@
+package mat
+
+import "mcmpart/internal/parallel"
+
+// ParallelFlopThreshold is the approximate multiply-add count below which the
+// matmul kernels stay serial: goroutine fan-out costs ~µs, so small products
+// (everything in the quick-scale policy network) must not pay for it. Above
+// the threshold the kernels split output rows into one contiguous block per
+// worker. Row-parallel splitting preserves the serial kernels' per-element
+// accumulation order exactly, so results are bit-for-bit identical at any
+// worker count — the property the determinism tests pin down.
+const ParallelFlopThreshold = 1 << 17
+
+// rowRange runs fn over [0, rows) split into per-worker blocks when the flop
+// estimate warrants it, serially otherwise. Extra workers are reserved from
+// the process-wide kernel lane budget (parallel.AcquireLanes), so matmuls
+// issued from inside an already-fanned-out layer fall back to serial
+// execution instead of oversubscribing; the split never affects results.
+func rowRange(rows, flops int, fn func(lo, hi int)) {
+	if flops < ParallelFlopThreshold || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	extra := parallel.AcquireLanes(parallel.Resolve(0, rows) - 1)
+	if extra == 0 {
+		fn(0, rows)
+		return
+	}
+	defer parallel.ReleaseLanes(extra)
+	parallel.ForEachBlock(extra+1, rows, func(_, lo, hi int) { fn(lo, hi) })
+}

@@ -1,6 +1,16 @@
 package nn
 
-import "math"
+import (
+	"math"
+
+	"mcmpart/internal/parallel"
+)
+
+// adamParallelElems is the total parameter count above which Step and
+// GradNorm fan per-parameter work across the worker pool. Updates are
+// independent per parameter and the norm reduces per-parameter partial sums
+// in parameter order, so results are identical at any worker count.
+const adamParallelElems = 1 << 15
 
 // Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter list.
 type Adam struct {
@@ -13,6 +23,7 @@ type Adam struct {
 
 	params []*Param
 	m, v   [][]float64
+	elems  int
 	step   int
 }
 
@@ -25,23 +36,45 @@ func NewAdam(params []*Param, lr float64) *Adam {
 	for i, p := range params {
 		a.m[i] = make([]float64, len(p.Value.Data))
 		a.v[i] = make([]float64, len(p.Value.Data))
+		a.elems += len(p.Value.Data)
 	}
 	return a
 }
 
-// GradNorm returns the global L2 norm of all gradients.
+// acquire reserves kernel lanes for a per-parameter loop, returning the
+// worker count to run at and the lane count to release after.
+func (a *Adam) acquire() (workers, lanes int) {
+	if a.elems < adamParallelElems {
+		return 1, 0
+	}
+	lanes = parallel.AcquireLanes(parallel.Resolve(0, len(a.params)) - 1)
+	return lanes + 1, lanes
+}
+
+// GradNorm returns the global L2 norm of all gradients. Per-parameter
+// partial sums reduce in parameter order, so the result is identical at any
+// worker count.
 func (a *Adam) GradNorm() float64 {
-	var sq float64
-	for _, p := range a.params {
-		for _, g := range p.Grad.Data {
+	workers, lanes := a.acquire()
+	defer parallel.ReleaseLanes(lanes)
+	partial := parallel.Map(workers, len(a.params), func(i int) float64 {
+		var sq float64
+		for _, g := range a.params[i].Grad.Data {
 			sq += g * g
 		}
+		return sq
+	})
+	var sq float64
+	for _, s := range partial {
+		sq += s
 	}
 	return math.Sqrt(sq)
 }
 
 // Step applies one Adam update from the accumulated gradients. It does not
 // zero the gradients; callers do that when starting the next accumulation.
+// Parameters update concurrently above the size threshold; each parameter's
+// arithmetic is untouched, so trajectories are worker-count independent.
 func (a *Adam) Step() {
 	scale := 1.0
 	if a.MaxGradNorm > 0 {
@@ -52,7 +85,10 @@ func (a *Adam) Step() {
 	a.step++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
-	for i, p := range a.params {
+	workers, lanes := a.acquire()
+	defer parallel.ReleaseLanes(lanes)
+	parallel.ForEach(workers, len(a.params), func(i int) {
+		p := a.params[i]
 		m, v := a.m[i], a.v[i]
 		for j, g := range p.Grad.Data {
 			g *= scale
@@ -62,5 +98,5 @@ func (a *Adam) Step() {
 			vh := v[j] / bc2
 			p.Value.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
 		}
-	}
+	})
 }

@@ -37,16 +37,14 @@ type Linear struct {
 	In, Out int
 	W, B    *Param
 
-	x  *mat.Dense // cached input for backprop
-	dw *mat.Dense // scratch for the weight-gradient product
+	x *mat.Dense // cached input for backprop
 }
 
 // NewLinear returns a Xavier-initialized linear layer.
 func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 	l := &Linear{In: in, Out: out,
-		W:  newParam(name+".w", in, out),
-		B:  newParam(name+".b", 1, out),
-		dw: mat.New(in, out),
+		W: newParam(name+".w", in, out),
+		B: newParam(name+".b", 1, out),
 	}
 	l.W.Value.XavierInit(rng)
 	return l
@@ -70,8 +68,7 @@ func (l *Linear) Backward(dX, dOut *mat.Dense) {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	mat.MulATB(l.dw, l.x, dOut)
-	l.W.Grad.Add(l.dw)
+	mat.MulATBAcc(l.W.Grad, l.x, dOut)
 	dOut.ColSums(l.B.Grad.Data)
 	if dX != nil {
 		mat.MulABT(dX, dOut, l.W.Value)

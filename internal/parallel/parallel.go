@@ -1,0 +1,219 @@
+// Package parallel is the repository's worker-pool execution engine: bounded
+// fan-out over index ranges with a determinism contract. Every primitive
+// splits work by item index, never by arrival order, and randomness is always
+// derived from (baseSeed, itemIndex) via Seed — so a computation produces
+// bit-for-bit identical results at workers=1 and workers=N. The hot layers
+// (mat kernels, PPO rollout collection, experiment trials, corpus sampling)
+// all run through this package; see DESIGN.md ("Parallel execution engine")
+// for the contract and its rationale.
+//
+// The contract callers must uphold:
+//
+//   - fn(i) may depend only on item index i (plus immutable shared state and
+//     per-worker replicas handed out by ForEachBlock);
+//   - fn(i) writes only to slot i of its output (Map enforces this shape);
+//   - randomness inside fn comes from an RNG seeded by Seed(base, i), never
+//     from a shared stream.
+//
+// Under those rules scheduling is free to be dynamic (an atomic cursor
+// balances load), yet outputs are independent of worker count and of thread
+// interleaving.
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide worker count used when a caller passes
+// workers <= 0. It starts at runtime.NumCPU(); cmd binaries override it from
+// their -workers flag.
+var defaultWorkers atomic.Int64
+
+// extraLanes is the process-wide budget of additional goroutines the
+// fine-grained kernels (matmul row blocks, adjacency aggregation, optimizer
+// updates) may hold beyond their calling goroutines. Coarse layers (trials,
+// rollout collection) coordinate through explicit Workers configuration;
+// kernels instead reserve lanes non-blockingly via AcquireLanes, so nested
+// fan-out (a concurrent trial's rollout's matmul) degrades to serial
+// execution instead of multiplying goroutines quadratically. By the kernel
+// contract, how a call ends up split never changes its result.
+var extraLanes atomic.Int64
+
+func init() { SetDefault(runtime.NumCPU()) }
+
+// SetDefault sets the process-wide default worker count (n <= 0 restores
+// runtime.NumCPU()) and resets the kernel lane budget to match. It returns
+// the value actually installed. Call it at startup or between computations,
+// not while a pool is running (outstanding lane reservations would be
+// miscounted against the new budget).
+func SetDefault(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	defaultWorkers.Store(int64(n))
+	extraLanes.Store(int64(n - 1))
+	return n
+}
+
+// AcquireLanes reserves up to extra kernel lanes from the process-wide
+// budget without blocking, returning how many were reserved (possibly 0 —
+// the caller then runs serially). Pair every non-zero return with
+// ReleaseLanes.
+func AcquireLanes(extra int) int {
+	if extra <= 0 {
+		return 0
+	}
+	for {
+		cur := extraLanes.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := int64(extra)
+		if take > cur {
+			take = cur
+		}
+		if extraLanes.CompareAndSwap(cur, cur-take) {
+			return int(take)
+		}
+	}
+}
+
+// ReleaseLanes returns lanes reserved by AcquireLanes to the budget.
+func ReleaseLanes(n int) {
+	if n > 0 {
+		extraLanes.Add(int64(n))
+	}
+}
+
+// Default returns the process-wide default worker count.
+func Default() int { return int(defaultWorkers.Load()) }
+
+// Resolve clamps a requested worker count against the work size: workers <= 0
+// means the process default, and no more than n workers are ever used.
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = Default()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Seed derives an independent RNG seed for item i of a computation seeded by
+// base. It is a splitmix64 finalizer over the pair, so per-item streams are
+// decorrelated even for adjacent indices and small bases — the property the
+// determinism contract rests on (item i's randomness must not depend on how
+// many items some other worker has already consumed).
+func Seed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Rng returns a fresh RNG for item i of a computation seeded by base.
+func Rng(base int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(base, i)))
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 uses the process default). Items are claimed from an atomic
+// cursor, so load balances dynamically; callers get determinism by following
+// the package contract. ForEach returns when every item has completed.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Resolve(workers, n)
+	if n == 0 {
+		return
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible items. All items run regardless of failures
+// (each is independent under the contract); the returned error is the one
+// from the lowest failing index, so the error a caller sees is also
+// deterministic across worker counts.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ForEachBlock splits [0, n) into one contiguous block per worker and runs
+// fn(worker, lo, hi) for each non-empty block concurrently. It is the
+// primitive for stages that need per-worker state (a solver replica, a policy
+// clone): the worker index selects the replica, while per-item seeding inside
+// [lo, hi) keeps outputs independent of the split. Blocks differ in size by
+// at most one item.
+func ForEachBlock(workers, n int, fn func(worker, lo, hi int)) {
+	workers = Resolve(workers, n)
+	if n == 0 {
+		return
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := blockBounds(w, workers, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// blockBounds returns worker w's contiguous slice of [0, n).
+func blockBounds(w, workers, n int) (lo, hi int) {
+	return w * n / workers, (w + 1) * n / workers
+}

@@ -1,0 +1,217 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(4, 100); got != 4 {
+		t.Fatalf("Resolve(4,100) = %d", got)
+	}
+	if got := Resolve(8, 3); got != 3 {
+		t.Fatalf("Resolve(8,3) = %d, want clamp to n", got)
+	}
+	if got := Resolve(0, 1000); got != Default() {
+		t.Fatalf("Resolve(0,1000) = %d, want default %d", got, Default())
+	}
+	if got := Resolve(5, 0); got != 1 {
+		t.Fatalf("Resolve(5,0) = %d, want 1", got)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	if got := SetDefault(3); got != 3 || Default() != 3 {
+		t.Fatalf("SetDefault(3) = %d, Default() = %d", got, Default())
+	}
+	if got := SetDefault(0); got < 1 {
+		t.Fatalf("SetDefault(0) = %d, want NumCPU fallback", got)
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int64, n)
+			ForEach(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(8, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapErrLowestIndexWins(t *testing.T) {
+	errAt := func(bad ...int) error {
+		_, err := MapErr(8, 40, func(i int) (int, error) {
+			for _, b := range bad {
+				if i == b {
+					return 0, fmt.Errorf("item %d failed", i)
+				}
+			}
+			return i, nil
+		})
+		return err
+	}
+	if err := errAt(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Regardless of scheduling, the reported error is from the lowest index.
+	for trial := 0; trial < 10; trial++ {
+		err := errAt(31, 7, 22)
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Fatalf("MapErr error = %v, want item 7 failed", err)
+		}
+	}
+}
+
+func TestMapErrRunsAllItems(t *testing.T) {
+	var ran atomic.Int64
+	_, err := MapErr(4, 20, func(i int) (struct{}, error) {
+		ran.Add(1)
+		if i%3 == 0 {
+			return struct{}{}, errors.New("boom")
+		}
+		return struct{}{}, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d items, want all 20", ran.Load())
+	}
+}
+
+func TestForEachBlockPartition(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 64} {
+			hits := make([]atomic.Int64, n)
+			ForEachBlock(workers, n, func(w, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty block dispatched: [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: item %d covered %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedIndependentOfWorkerCount(t *testing.T) {
+	const base, n = 42, 64
+	draw := func(workers int) []float64 {
+		return Map(workers, n, func(i int) float64 {
+			return Rng(base, i).Float64()
+		})
+	}
+	want := draw(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := draw(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: item %d drew %v, want %v (workers=1)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSeedDecorrelated(t *testing.T) {
+	// Adjacent indices and adjacent bases must yield distinct seeds; a
+	// collision here would silently correlate parallel trials.
+	seen := map[int64]string{}
+	for base := int64(0); base < 50; base++ {
+		for i := 0; i < 50; i++ {
+			s := Seed(base, i)
+			key := fmt.Sprintf("base=%d i=%d", base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestLaneBudget(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	SetDefault(4) // budget: 3 extra lanes
+	if got := AcquireLanes(10); got != 3 {
+		t.Fatalf("AcquireLanes(10) = %d, want 3", got)
+	}
+	if got := AcquireLanes(1); got != 0 {
+		t.Fatalf("AcquireLanes on drained budget = %d, want 0", got)
+	}
+	ReleaseLanes(2)
+	if got := AcquireLanes(5); got != 2 {
+		t.Fatalf("AcquireLanes after partial release = %d, want 2", got)
+	}
+	ReleaseLanes(3)
+	if got := AcquireLanes(0); got != 0 {
+		t.Fatalf("AcquireLanes(0) = %d, want 0", got)
+	}
+}
+
+func TestForEachNested(t *testing.T) {
+	// Nested fan-out must not deadlock and must cover the full grid.
+	var hits [8][8]atomic.Int64
+	ForEach(4, 8, func(i int) {
+		ForEach(4, 8, func(j int) { hits[i][j].Add(1) })
+	})
+	for i := range hits {
+		for j := range hits[i] {
+			if hits[i][j].Load() != 1 {
+				t.Fatalf("cell (%d,%d) ran %d times", i, j, hits[i][j].Load())
+			}
+		}
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(4, 256, func(int) {})
+	}
+}
+
+func BenchmarkSeededFanout(b *testing.B) {
+	// A coarse-grained seeded fan-out: the shape every experiment loop uses.
+	work := func(rng *rand.Rand) float64 {
+		var acc float64
+		for k := 0; k < 20000; k++ {
+			acc += rng.Float64()
+		}
+		return acc
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=default"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Map(workers, 64, func(j int) float64 { return work(Rng(1, j)) })
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"mcmpart/internal/graph"
 	"mcmpart/internal/nn"
+	"mcmpart/internal/parallel"
 	"mcmpart/internal/rl"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	ValidationSamples int
 	// Seed derives all randomness.
 	Seed int64
+	// Workers bounds the validation worker's checkpoint fan-out (0 =
+	// process default). Each checkpoint scores with its own policy clone,
+	// fresh environments, and a seed derived from its index, so scores are
+	// identical at any worker count.
+	Workers int
 }
 
 // QuickConfig returns a laptop-scale pipeline configuration for a given
@@ -117,26 +123,34 @@ func Run(train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Res
 	}
 
 	// Validation worker: zero-shot score per checkpoint, averaged over the
-	// validation graphs.
-	vrng := rand.New(rand.NewSource(cfg.Seed + 1))
-	scorer := rl.NewPolicy(cfg.Policy, vrng)
-	res.Scores = make([]float64, len(res.Checkpoints))
-	best := -1.0
-	for ci, snap := range res.Checkpoints {
-		if err := scorer.Restore(snap); err != nil {
-			return nil, fmt.Errorf("pretrain: checkpoint %d: %w", ci, err)
-		}
-		var score float64
-		for _, g := range validation {
-			env, err := factory(g)
-			if err != nil {
-				return nil, fmt.Errorf("pretrain: validation env for %s: %w", g.Name(), err)
+	// validation graphs. Checkpoints score independently — each gets its
+	// own scorer policy, fresh environments, and an RNG derived from
+	// (Seed+1, checkpoint index) — so they fan out across the worker pool
+	// with scores identical at any worker count.
+	scores, err := parallel.MapErr(parallel.Resolve(cfg.Workers, len(res.Checkpoints)),
+		len(res.Checkpoints), func(ci int) (float64, error) {
+			vrng := parallel.Rng(cfg.Seed+1, ci)
+			scorer := rl.NewPolicy(cfg.Policy, vrng)
+			if err := scorer.Restore(res.Checkpoints[ci]); err != nil {
+				return 0, fmt.Errorf("pretrain: checkpoint %d: %w", ci, err)
 			}
-			rl.ZeroShot(scorer, env, cfg.ValidationSamples, vrng)
-			score += env.BestImprovement()
-		}
-		score /= float64(len(validation))
-		res.Scores[ci] = score
+			var score float64
+			for _, g := range validation {
+				env, err := factory(g)
+				if err != nil {
+					return 0, fmt.Errorf("pretrain: validation env for %s: %w", g.Name(), err)
+				}
+				rl.ZeroShot(scorer, env, cfg.ValidationSamples, vrng)
+				score += env.BestImprovement()
+			}
+			return score / float64(len(validation)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Scores = scores
+	best := -1.0
+	for ci, score := range scores {
 		if score > best {
 			best = score
 			res.BestIndex = ci

@@ -31,6 +31,14 @@ type Env struct {
 	// "RL without constraint solver" baseline): raw actions are evaluated
 	// directly and invalid ones earn zero reward.
 	NoSolver bool
+	// PartFactory builds an independent Partitioner replica over the same
+	// instance. Concurrent rollout collection needs one replica per worker
+	// (Solver and Segmenter keep per-solve scratch, so a single instance is
+	// not safe for concurrent use); when nil, the trainer falls back to
+	// serial collection on this environment — results are identical either
+	// way, only wall-clock differs. Eval must be safe for concurrent use
+	// whenever a factory is set (the cost model and hardware simulator are).
+	PartFactory func() (cpsolver.Partitioner, error)
 
 	// Samples counts evaluations consumed (the x-axis of Figures 5 and 6).
 	Samples int
@@ -84,6 +92,15 @@ func (e *Env) step(p partition.Partition, valid bool) float64 {
 			th = 0
 		}
 	}
+	return e.absorb(p, th)
+}
+
+// absorb records one already-evaluated sample into the trajectory and
+// returns its reward. Parallel rollout collection evaluates samples on
+// worker goroutines and then absorbs them here in deterministic episode
+// order, so the trajectory (Samples, Best, History, exploration weight) is
+// identical to a serial run.
+func (e *Env) absorb(p partition.Partition, th float64) float64 {
 	e.Samples++
 	if th > 0 {
 		e.ValidSamples++
@@ -93,12 +110,18 @@ func (e *Env) step(p partition.Partition, valid bool) float64 {
 		e.Best = p.Clone()
 	}
 	e.History = append(e.History, e.BestThroughput/e.Baseline)
-	if th == 0 {
-		e.exploreEps = math.Min(exploreCeil, e.ExploreEps()*1.5)
-	} else {
-		e.exploreEps = math.Max(exploreFloor, e.ExploreEps()*0.8)
-	}
+	e.exploreEps = nextExploreEps(e.ExploreEps(), th)
 	return th / e.Baseline
+}
+
+// nextExploreEps advances the adaptive exploration weight after a sample
+// with throughput th. Rollout workers apply the same law to their local
+// copies so sampling inside an episode matches the serial trajectory.
+func nextExploreEps(eps, th float64) float64 {
+	if th == 0 {
+		return math.Min(exploreCeil, eps*1.5)
+	}
+	return math.Max(exploreFloor, eps*0.8)
 }
 
 // StepActions runs one environment step from a concrete action vector y:

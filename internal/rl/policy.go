@@ -79,6 +79,17 @@ func NewPolicy(cfg Config, rng *rand.Rand) *Policy {
 // Params returns all trainable parameters.
 func (p *Policy) Params() []*nn.Param { return p.params }
 
+// Clone returns an independent policy with identical weights. Forward keeps
+// per-call caches inside the encoder, so a policy is not safe for concurrent
+// Forwards; rollout workers each run on a clone instead.
+func (p *Policy) Clone() *Policy {
+	c := NewPolicy(p.Cfg, rand.New(rand.NewSource(0)))
+	if err := c.Restore(p.Snapshot()); err != nil {
+		panic("rl: Clone restore failed: " + err.Error())
+	}
+	return c
+}
+
 // Snapshot captures the policy weights (a pre-training checkpoint).
 func (p *Policy) Snapshot() nn.Snapshot { return nn.TakeSnapshot(p.params) }
 

@@ -6,7 +6,6 @@ import (
 
 	"mcmpart/internal/mat"
 	"mcmpart/internal/nn"
-	"mcmpart/internal/partition"
 )
 
 // PPOConfig holds the training hyper-parameters. The paper's selected
@@ -20,6 +19,11 @@ type PPOConfig struct {
 	ValueCoef   float64 // value-loss weight
 	EntropyCoef float64 // entropy-bonus weight
 	MaxGradNorm float64 // global gradient clip (0 disables)
+	// Workers bounds the rollout-collection fan-out (0 means the process
+	// default, typically NumCPU). Collection is deterministic in the seed
+	// regardless of the value: episode randomness derives from the episode
+	// index, and results merge in episode order. See internal/parallel.
+	Workers int
 }
 
 // DefaultPPOConfig returns the paper's training hyper-parameters.
@@ -82,62 +86,20 @@ type IterationStats struct {
 	Samples     int
 }
 
-// episode runs one T-step refinement episode (Eq. 7) on env, appending its
-// transitions: sample y(t) from P(t) = pi(. | G, y(t-1)), hand it to the
-// solver, earn the corrected partition's reward.
-func (t *Trainer) episode(env *Env, buf []transition) []transition {
-	T := t.Policy.Cfg.Iterations
-	prev := unassigned(env.Ctx.G.NumNodes())
-	rewards := make([]float64, 0, T)
-	start := len(buf)
-	for step := 0; step < T; step++ {
-		f := t.Policy.Forward(env.Ctx, prev)
-		var y []int
-		var logp float64
-		if env.UseSampleMode {
-			// Algorithm 1: the solver samples from P; credit the
-			// emitted partition as the action.
-			p, err := env.Part.SampleMode(MixedProbRows(f.Probs, env.ExploreEps()), t.rng)
-			if err != nil {
-				y = SampleActions(f.Probs, t.rng)
-			} else {
-				y = p
-			}
-			logp = JointLogProb(f.LogProbs, y)
-			rewards = append(rewards, env.step(partition.Partition(y), err == nil))
-		} else {
-			// Algorithm 2 (FIX, the paper's default for RL): the raw
-			// sample is the action, the solver repairs it.
-			y = SampleActions(f.Probs, t.rng)
-			logp = JointLogProb(f.LogProbs, y)
-			rewards = append(rewards, env.StepActions(y, t.rng))
-		}
-		buf = append(buf, transition{
-			env:    env,
-			prev:   prev,
-			action: y,
-			logp:   logp,
-			value:  f.Value,
-		})
-		prev = y
-	}
-	// Reward-to-go with gamma = 1 across the T refinement steps.
-	acc := 0.0
-	for i := len(rewards) - 1; i >= 0; i-- {
-		acc += rewards[i]
-		buf[start+i].ret = acc
-	}
-	return buf
-}
-
 // Iterate performs one PPO iteration: collect Rollouts episodes round-robin
-// over the environments, compute normalized advantages, and run
+// over the environments (fanned across the worker pool — see rollout.go for
+// the determinism contract), compute normalized advantages, and run
 // Epochs x MiniBatches clipped-surrogate updates.
 func (t *Trainer) Iterate(envs []*Env) IterationStats {
 	var stats IterationStats
 	var buf []transition
-	for r := 0; r < t.Cfg.Rollouts; r++ {
-		buf = t.episode(envs[r%len(envs)], buf)
+	results := t.collect(envs)
+	for r := range results {
+		env := envs[r%len(envs)]
+		for _, s := range results[r].steps {
+			env.absorb(s.p, s.th)
+		}
+		buf = append(buf, results[r].transitions...)
 	}
 	stats.Samples = len(buf)
 	// Advantages, normalized over the batch.

@@ -1,0 +1,174 @@
+package rl
+
+import (
+	"math/rand"
+
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/parallel"
+	"mcmpart/internal/partition"
+)
+
+// stepOutcome is one evaluated environment sample produced on a rollout
+// worker: the corrected partition (nil when the solve failed or the raw
+// sample was invalid) and its measured throughput. Outcomes are absorbed
+// into the environment in deterministic episode order after collection.
+type stepOutcome struct {
+	p  partition.Partition
+	th float64
+}
+
+// episodeResult is everything one T-step episode contributes to the PPO
+// batch: its transitions (with rewards-to-go already filled in) and the
+// per-step evaluation outcomes for the environment trajectory.
+type episodeResult struct {
+	transitions []transition
+	steps       []stepOutcome
+}
+
+// collect gathers Cfg.Rollouts episodes, fanning them across the worker
+// pool. Determinism contract: episode r derives its RNG from
+// (iterSeed, r) and starts from the environments' state at collection
+// start, so the batch is bit-for-bit identical at workers=1 and workers=N;
+// only wall-clock changes. Each worker runs on its own policy clone and,
+// when more than one worker is active, on partitioner replicas built by
+// Env.PartFactory. Environments without a factory force serial collection
+// (same code path, same results).
+func (t *Trainer) collect(envs []*Env) []episodeResult {
+	rollouts := t.Cfg.Rollouts
+	iterSeed := t.rng.Int63()
+	workers := parallel.Resolve(t.Cfg.Workers, rollouts)
+	if workers > 1 && !forkable(envs) {
+		workers = 1
+	}
+	// Exploration weights at collection start: every episode in this batch
+	// samples under the same weight snapshot regardless of worker count.
+	eps0 := make([]float64, len(envs))
+	for i, e := range envs {
+		eps0[i] = e.ExploreEps()
+	}
+	results := make([]episodeResult, rollouts)
+	parallel.ForEachBlock(workers, rollouts, func(w, lo, hi int) {
+		pol := t.Policy
+		var replicas map[int]cpsolver.Partitioner
+		if workers > 1 {
+			// Workers beyond the first need private forward caches; every
+			// worker needs private solver scratch, covered by replicas.
+			if w > 0 {
+				pol = t.Policy.Clone()
+			}
+			replicas = make(map[int]cpsolver.Partitioner)
+		}
+		for r := lo; r < hi; r++ {
+			ei := r % len(envs)
+			env := envs[ei]
+			part := env.Part
+			if replicas != nil && usesSolver(env) {
+				rep, ok := replicas[ei]
+				if !ok {
+					var err error
+					rep, err = env.PartFactory()
+					if err != nil {
+						// Replica construction re-runs a constructor that
+						// already succeeded for env.Part; a failure here is
+						// a programming error, not an input condition.
+						panic("rl: PartFactory failed: " + err.Error())
+					}
+					replicas[ei] = rep
+				}
+				part = rep
+			}
+			results[r] = runEpisode(pol, env, part, eps0[ei], parallel.Rng(iterSeed, r))
+		}
+	})
+	return results
+}
+
+// usesSolver reports whether episodes on this environment drive the
+// partitioner. NoSolver only bypasses the solver on the FIX path; SAMPLE
+// mode always solves (matching the serial semantics of Env.StepProbs).
+func usesSolver(e *Env) bool { return !e.NoSolver || e.UseSampleMode }
+
+// forkable reports whether every environment supports concurrent episode
+// collection: a partitioner factory for replicas, or no solver involvement.
+func forkable(envs []*Env) bool {
+	for _, e := range envs {
+		if e.PartFactory == nil && usesSolver(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// runEpisode runs one T-step refinement episode (Eq. 7) against an
+// environment snapshot without mutating it: sample y(t) from
+// P(t) = pi(. | G, y(t-1)), hand it to the solver, evaluate the corrected
+// partition. The exploration weight evolves locally from eps by the same
+// law the environment applies, and all randomness comes from rng.
+func runEpisode(pol *Policy, env *Env, part cpsolver.Partitioner, eps float64, rng *rand.Rand) episodeResult {
+	T := pol.Cfg.Iterations
+	prev := unassigned(env.Ctx.G.NumNodes())
+	res := episodeResult{
+		transitions: make([]transition, 0, T),
+		steps:       make([]stepOutcome, 0, T),
+	}
+	rewards := make([]float64, 0, T)
+	for step := 0; step < T; step++ {
+		f := pol.Forward(env.Ctx, prev)
+		var y []int
+		var logp float64
+		var out stepOutcome
+		if env.UseSampleMode {
+			// Algorithm 1: the solver samples from P; credit the emitted
+			// partition as the action.
+			p, err := part.SampleMode(MixedProbRows(f.Probs, eps), rng)
+			if err != nil {
+				y = SampleActions(f.Probs, rng)
+			} else {
+				y = p
+				out = evaluate(env, p)
+			}
+			logp = JointLogProb(f.LogProbs, y)
+		} else {
+			// Algorithm 2 (FIX, the paper's default for RL): the raw
+			// sample is the action, the solver repairs it.
+			y = SampleActions(f.Probs, rng)
+			logp = JointLogProb(f.LogProbs, y)
+			if env.NoSolver {
+				p := partition.Partition(y).Clone()
+				if p.Validate(env.Ctx.G, env.Part.Chips()) == nil {
+					out = evaluate(env, p)
+				}
+			} else if p, err := part.FixMode(y, rng); err == nil {
+				out = evaluate(env, p)
+			}
+		}
+		res.transitions = append(res.transitions, transition{
+			env:    env,
+			prev:   prev,
+			action: y,
+			logp:   logp,
+			value:  f.Value,
+		})
+		res.steps = append(res.steps, out)
+		rewards = append(rewards, out.th/env.Baseline)
+		eps = nextExploreEps(eps, out.th)
+		prev = y
+	}
+	// Reward-to-go with gamma = 1 across the T refinement steps.
+	acc := 0.0
+	for i := len(rewards) - 1; i >= 0; i-- {
+		acc += rewards[i]
+		res.transitions[i].ret = acc
+	}
+	return res
+}
+
+// evaluate measures a partition with the environment's evaluator (safe for
+// concurrent use) and packages the outcome.
+func evaluate(env *Env, p partition.Partition) stepOutcome {
+	th, ok := env.Eval(p)
+	if !ok {
+		th = 0
+	}
+	return stepOutcome{p: p, th: th}
+}

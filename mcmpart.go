@@ -157,6 +157,9 @@ func PartitionGraph(g *Graph, pkg *Package, opts Options) (*Result, error) {
 		return nil, err
 	}
 	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	env.PartFactory = func() (cpsolver.Partitioner, error) {
+		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	switch opts.Method {
 	case MethodRandom:
