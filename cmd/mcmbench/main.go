@@ -1,10 +1,11 @@
 // Command mcmbench measures the worker-pool speedups of the repository's
 // hot paths and writes them to a JSON file, so the performance trajectory
-// is tracked PR over PR (BENCH_PR1.json is the first point).
+// is tracked PR over PR (BENCH_PR1.json is the first point; CI uploads the
+// current BENCH_PR<n>.json as an artifact).
 //
 // Usage:
 //
-//	mcmbench [-out BENCH_PR1.json] [-workers N] [-iters N]
+//	mcmbench [-out BENCH_PR2.json] [-workers N] [-iters N] [-pr N]
 //
 // Each benchmark runs the same seeded computation twice — once at
 // workers=1 and once at workers=N — reporting wall-clock for both, the
@@ -56,12 +57,13 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR1.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to benchmark against workers=1")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (best is kept)")
+	pr := flag.Int("pr", 2, "PR number recorded in the report")
 	flag.Parse()
 
-	rep := Report{PR: 1, CPUs: runtime.NumCPU(), Workers: *workers}
+	rep := Report{PR: *pr, CPUs: runtime.NumCPU(), Workers: *workers}
 	rep.Benches = append(rep.Benches,
 		benchMatMul(*workers, *iters),
 		benchRollouts(*workers, *iters),
@@ -141,7 +143,7 @@ func benchRollouts(workers, iters int) Bench {
 		}
 		model := costmodel.New(pkg)
 		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		baseTh, _ := eval(search.GreedyPackage(g, pkg))
 		env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
 		env.PartFactory = func() (cpsolver.Partitioner, error) {
 			return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})

@@ -1,12 +1,17 @@
-// Command mcmexp regenerates the paper's tables and figures.
+// Command mcmexp regenerates the paper's tables and figures, plus the
+// heterogeneity/topology sweep that goes beyond the paper's single
+// homogeneous-ring platform.
 //
 // Usage:
 //
-//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|all [-scale quick|full]
-//	       [-seed N] [-workers N]
+//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|hetero|all
+//	       [-scale quick|full] [-seed N] [-workers N] [-mcm p1,p2,...]
+//
+// -mcm restricts the hetero sweep to a comma-separated list of package
+// presets (default: dev4,het4,dev8,dev8bi,mesh16).
 //
 // Quick scale (default) runs reduced budgets sized for one CPU core; full
-// scale runs the paper's budgets (see EXPERIMENTS.md for the mapping).
+// scale runs the paper's budgets (see DESIGN.md for the mapping).
 //
 // -workers bounds the experiment fan-out (trials, rollout collection,
 // corpus sampling, large matmuls); it defaults to all CPUs. Results are
@@ -21,17 +26,20 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"mcmpart/internal/experiments"
+	"mcmpart/internal/mcm"
 	"mcmpart/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig5, table2, fig6, table3, fig7, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig5, table2, fig6, table3, fig7, hetero, all")
 	scaleFlag := flag.String("scale", "quick", "scale: quick or full")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"worker-pool size for trials/rollouts/sampling (results are identical at any value)")
+	mcmList := flag.String("mcm", "", "comma-separated package presets for the hetero sweep (default dev4,het4,dev8,dev8bi,mesh16)")
 	flag.Parse()
 
 	parallel.SetDefault(*workers)
@@ -87,6 +95,24 @@ func main() {
 
 	if run("fig7") {
 		res, err := experiments.Figure7(experiments.Fig7Config{Scale: scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+	}
+
+	if run("hetero") {
+		cfg := experiments.HeteroConfig{Scale: scale, Seed: *seed}
+		if *mcmList != "" {
+			for _, name := range strings.Split(*mcmList, ",") {
+				pkg, err := mcm.Preset(strings.TrimSpace(name))
+				if err != nil {
+					fatal(err)
+				}
+				cfg.Packages = append(cfg.Packages, pkg)
+			}
+		}
+		res, err := experiments.HeteroSweep(cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,12 +1,15 @@
-// Command mcmgen generates synthetic workload graphs as JSON files.
+// Command mcmgen generates synthetic workload graphs and MCM package
+// descriptors as JSON files.
 //
 // Usage:
 //
-//	mcmgen -out dir [-seed 1] [-what corpus|bert|all]
+//	mcmgen -out dir [-seed 1] [-what corpus|bert|packages|all]
 //
 // It writes the 87-model pre-training corpus (train/validation/test
 // subdirectories matching the 66/5/16 split) and/or the 2138-node BERT
-// graph, in the JSON format cmd/mcmpart consumes.
+// graph, in the JSON format cmd/mcmpart consumes, and/or every package
+// preset (including the heterogeneous and non-ring ones) as package JSON
+// under packages/ — editable starting points for custom -mcm descriptors.
 package main
 
 import (
@@ -17,13 +20,14 @@ import (
 	"path/filepath"
 
 	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
 	"mcmpart/internal/workload"
 )
 
 func main() {
 	out := flag.String("out", "graphs", "output directory")
 	seed := flag.Int64("seed", 1, "corpus seed")
-	what := flag.String("what", "all", "what to generate: corpus, bert, all")
+	what := flag.String("what", "all", "what to generate: corpus, bert, packages, all")
 	flag.Parse()
 
 	if *what == "corpus" || *what == "all" {
@@ -54,6 +58,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote bert.json (%d nodes, %d MiB of weights)\n", g.NumNodes(), g.TotalParamBytes()>>20)
+	}
+	if *what == "packages" || *what == "all" {
+		dir := filepath.Join(*out, "packages")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for name, ctor := range mcm.Presets {
+			data, err := json.MarshalIndent(ctor(), "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d package descriptors under %s\n", len(mcm.Presets), dir)
 	}
 }
 

@@ -2,12 +2,18 @@
 //
 // Usage:
 //
-//	mcmpart -graph model.json [-package edge36] [-method rl|random|sa|greedy]
+//	mcmpart -graph model.json [-mcm edge36] [-method rl|random|sa|greedy]
 //	        [-budget 200] [-seed 1] [-workers N] [-sim] [-dot out.dot]
 //
 // The graph JSON format is produced by cmd/mcmgen (or any tool emitting
 // {"name", "nodes", "edges"}; see internal/graph). The chosen partition is
 // printed as JSON on stdout together with its evaluation.
+//
+// -mcm selects the target package: a preset name (dev4, dev8, dev8bi,
+// edge36, het4, mesh16) or a path to a package JSON descriptor (see
+// cmd/mcmgen -what packages for examples), so heterogeneous chiplet mixes
+// and non-ring interconnects are one flag away. -package is the deprecated
+// alias of -mcm.
 //
 // -workers bounds the worker pool the RL method's rollout collection and
 // the math kernels fan out over (default: all CPUs). The chosen partition
@@ -29,7 +35,8 @@ import (
 
 func main() {
 	graphPath := flag.String("graph", "", "path to the graph JSON (required; \"bert\" for the built-in BERT)")
-	pkgName := flag.String("package", "edge36", "package preset: dev4, dev8, edge36")
+	mcmSpec := flag.String("mcm", "", "target package: preset name (dev4, dev8, dev8bi, edge36, het4, mesh16) or package JSON path")
+	pkgName := flag.String("package", "", "deprecated alias of -mcm")
 	method := flag.String("method", "rl", "partitioning method: greedy, random, sa, rl")
 	budget := flag.Int("budget", 200, "sample budget for search methods")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -57,7 +64,14 @@ func main() {
 			fatal(fmt.Errorf("parsing %s: %w", *graphPath, err))
 		}
 	}
-	pkg, err := mcmpart.PackagePreset(*pkgName)
+	spec := *mcmSpec
+	if spec == "" {
+		spec = *pkgName
+	}
+	if spec == "" {
+		spec = "edge36"
+	}
+	pkg, err := loadPackage(spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,6 +110,21 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// loadPackage resolves -mcm: preset names first, then package JSON files.
+func loadPackage(spec string) (*mcmpart.Package, error) {
+	pkg, presetErr := mcmpart.PackagePreset(spec)
+	if presetErr == nil {
+		return pkg, nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		// Neither a preset nor a readable file; the preset error carries
+		// the authoritative list of valid names.
+		return nil, fmt.Errorf("-mcm %q is not a package JSON file (%w); %v", spec, err, presetErr)
+	}
+	return mcmpart.ParsePackageJSON(data)
 }
 
 func fatal(err error) {

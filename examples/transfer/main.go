@@ -31,7 +31,7 @@ func main() {
 			return nil, err
 		}
 		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		baseTh, _ := eval(search.GreedyPackage(g, pkg))
 		return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh), nil
 	}
 

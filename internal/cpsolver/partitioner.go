@@ -1,9 +1,11 @@
 package cpsolver
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
 	"mcmpart/internal/partition"
 )
 
@@ -68,15 +70,38 @@ const AutoChips = 8
 // (Algorithms 1 and 2) for small graphs on small packages — where it
 // explores the complete valid space, including non-contiguous layouts — and
 // the segment sampler everywhere else. If the segmenter cannot be built it
-// falls back to the CP solver.
+// falls back to the CP solver. Options.ChipCapacityBytes applies to either
+// backend (domain pruning plus accumulation in the CP solver, rejection
+// sampling in the segmenter).
 func NewAuto(g *graph.Graph, chips int, opts Options) (Partitioner, error) {
+	if caps := opts.ChipCapacityBytes; len(caps) != 0 && len(caps) != chips {
+		return nil, fmt.Errorf("cpsolver: %d chip capacities for %d chips", len(caps), chips)
+	}
 	if g.NumNodes() <= AutoThreshold && chips <= AutoChips {
 		return New(g, chips, opts)
 	}
 	if sg, err := NewSegmenter(g, chips); err == nil {
+		sg.chipCap = opts.ChipCapacityBytes
 		return sg, nil
 	}
 	return New(g, chips, opts)
+}
+
+// NewAutoPkg builds the automatic Partitioner for a concrete package. For
+// heterogeneous packages it turns each chip's SRAM size into a static
+// per-chip weight-capacity bound (a necessary condition of the dynamic
+// memory constraint, so little dies are never handed layers that cannot
+// fit); homogeneous packages get exactly NewAuto's unconstrained behavior,
+// keeping the default path bit-identical to the pre-heterogeneity solver.
+func NewAutoPkg(g *graph.Graph, pkg *mcm.Package, opts Options) (Partitioner, error) {
+	if pkg.Heterogeneous() && len(opts.ChipCapacityBytes) == 0 {
+		caps := make([]int64, pkg.Chips)
+		for c := range caps {
+			caps[c] = pkg.ChipSRAM(c)
+		}
+		opts.ChipCapacityBytes = caps
+	}
+	return NewAuto(g, pkg.Chips, opts)
 }
 
 var (

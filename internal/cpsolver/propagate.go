@@ -80,12 +80,22 @@ func (s *Solver) propagate() bool {
 }
 
 // bindNode marks v as bound and merges its incident edges into the
-// chip-level quotient graph. It returns true on a triangle conflict.
+// chip-level quotient graph. It returns true on a triangle or chip-capacity
+// conflict.
 func (s *Solver) bindNode(v int32) bool {
-	s.trail = append(s.trail, trailEntry{kind: trailBound, a: v})
-	s.bound[v] = true
-	g := s.g
 	c := s.doms[v].Min()
+	s.trail = append(s.trail, trailEntry{kind: trailBound, a: v, b: int32(c)})
+	s.bound[v] = true
+	// Static per-chip memory bound, accumulation part: the weights bound
+	// onto a chip may not exceed its capacity. The trail entry above
+	// already carries the chip, so undoTo rolls the sum back.
+	if s.capacity != nil {
+		s.paramUsed[c] += s.nodeParams[v]
+		if s.paramUsed[c] > s.capacity[c] {
+			return true
+		}
+	}
+	g := s.g
 	for _, ei := range g.OutEdges(int(v)) {
 		w := g.Edge(int(ei)).To
 		if s.bound[w] {

@@ -53,7 +53,18 @@ type Segmenter struct {
 	wScratch  []float64
 	fitProbs  [][]float64
 	fitFlat   []float64
+	// chipCap, when non-nil, is the per-chip static weight bound of
+	// Options.ChipCapacityBytes: samples whose per-chip weight totals
+	// exceed it are rejected and redrawn (the DP's streaming structure
+	// cannot carry a knapsack side constraint exactly). A nil bound (the
+	// homogeneous default) draws exactly one sample per call, keeping the
+	// pre-heterogeneity RNG stream bit-identical.
+	chipCap []int64
 }
+
+// segmentCapacityRetries bounds redraws before a capacity-constrained
+// sample gives up with ErrInfeasible.
+const segmentCapacityRetries = 64
 
 // NewSegmenter prepares a segmenter for the graph on the given chip count.
 // When the graph admits fewer boundaries than chips-1, layouts use the
@@ -129,8 +140,41 @@ func logProb(p []float64, c int) float64 {
 }
 
 // Sample draws a contiguous partition with probability proportional to
-// prod_u probs[u][f(u)]. probs may be nil (uniform over the family).
+// prod_u probs[u][f(u)]. probs may be nil (uniform over the family). Under a
+// per-chip capacity bound it redraws until the sample fits (rejection keeps
+// the distribution exact, conditioned on feasibility).
 func (sg *Segmenter) Sample(probs [][]float64, rng *rand.Rand) (partition.Partition, error) {
+	p, err := sg.sampleOnce(probs, rng)
+	if err != nil || sg.chipCap == nil {
+		return p, err
+	}
+	for attempt := 0; !sg.fitsCapacity(p); attempt++ {
+		if attempt >= segmentCapacityRetries {
+			return nil, fmt.Errorf("cpsolver: no capacity-feasible segmentation in %d draws: %w",
+				segmentCapacityRetries, ErrInfeasible)
+		}
+		if p, err = sg.sampleOnce(probs, rng); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// fitsCapacity reports whether each chip's total weight footprint under p
+// stays within the per-chip capacity bound.
+func (sg *Segmenter) fitsCapacity(p partition.Partition) bool {
+	var used [mcm.MaxChips]int64
+	for v, c := range p {
+		used[c] += sg.g.Node(v).ParamBytes
+		if used[c] > sg.chipCap[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleOnce draws one contiguous partition via the forward-backward DP.
+func (sg *Segmenter) sampleOnce(probs [][]float64, rng *rand.Rand) (partition.Partition, error) {
 	n := len(sg.order)
 	c := sg.k
 	if probs != nil && len(probs) != n {

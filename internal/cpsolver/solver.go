@@ -95,6 +95,14 @@ type Options struct {
 	// UnweightedSampling disables the completion-weighted value prior
 	// during Sample/Fix (see Solver.sampleValue). Used by ablations.
 	UnweightedSampling bool
+	// ChipCapacityBytes, when non-empty (length = chip count), adds a
+	// per-chip memory bound to the static constraints: the total weight
+	// footprint placed on chip c may not exceed ChipCapacityBytes[c]. It
+	// is a necessary condition for the dynamic SRAM constraint —
+	// heterogeneous packages use it so little dies are not handed layers
+	// that can never fit (see NewAutoPkg). Activations are still only
+	// checked dynamically by the simulator.
+	ChipCapacityBytes []int64
 }
 
 // DefaultMaxBacktracks is the total per-solve backtrack budget.
@@ -141,6 +149,13 @@ type Solver struct {
 	// from a greedy sweep over edge spans. The value prior uses it to
 	// know how urgently the assignment must climb toward the last chip.
 	capFrom []int32
+
+	// Per-chip static memory bound (nil when Options.ChipCapacityBytes is
+	// unset): nodeParams caches each node's weight footprint and paramUsed
+	// the total bound onto each chip, maintained through the trail.
+	capacity   []int64
+	nodeParams []int64
+	paramUsed  []int64
 
 	// Scratch queue for propagation.
 	queue []int32
@@ -197,9 +212,33 @@ func New(g *graph.Graph, chips int, opts Options) (*Solver, error) {
 		s.topoPos[v] = int32(i)
 	}
 	s.capFrom = boundaryCapacity(g, s.topoPos)
+	if caps := opts.ChipCapacityBytes; len(caps) != 0 {
+		if len(caps) != chips {
+			return nil, fmt.Errorf("cpsolver: %d chip capacities for %d chips", len(caps), chips)
+		}
+		s.capacity = caps
+		s.paramUsed = make([]int64, chips)
+		s.nodeParams = make([]int64, n)
+		for v := 0; v < n; v++ {
+			s.nodeParams[v] = g.Node(v).ParamBytes
+		}
+	}
 	full := fullDomain(chips)
 	for i := range s.doms {
-		s.doms[i] = full
+		d := full
+		// Static per-chip memory bound, node-level part: a node whose
+		// weights alone exceed a chip's capacity can never sit there.
+		if s.capacity != nil {
+			for c := 0; c < chips; c++ {
+				if s.nodeParams[i] > s.capacity[c] {
+					d &^= single(c)
+				}
+			}
+			if d.Empty() {
+				return nil, ErrInfeasible
+			}
+		}
+		s.doms[i] = d
 	}
 	// Root propagation: detects trivially infeasible instances and binds
 	// anything forced from the start (e.g. single-chip packages).
@@ -459,6 +498,9 @@ func (s *Solver) undoTo(mark int) {
 			}
 		case trailBound:
 			s.bound[e.a] = false
+			if s.capacity != nil {
+				s.paramUsed[e.b] -= s.nodeParams[e.a]
+			}
 		}
 	}
 	// Propagation queue contents are invalid after an undo.

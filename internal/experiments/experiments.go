@@ -6,7 +6,7 @@
 //
 // Experiments run at two scales: ScaleQuick (default; minutes on one CPU
 // core, reduced sample budgets and network sizes) and ScaleFull (the
-// paper's budgets and the paper's 8x128 network). EXPERIMENTS.md records
+// paper's budgets and the paper's 8x128 network). DESIGN.md records
 // measured results for both the shapes and the deltas against the paper.
 package experiments
 
@@ -78,12 +78,12 @@ func (a simAdapter) Evaluate(g *graph.Graph, p partition.Partition) (float64, bo
 // baseline, producing an RL/search environment. The partitioner factory
 // enables concurrent rollout collection (one solver replica per worker).
 func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
-	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	pr, err := cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: partitioner for %s: %w", g.Name(), err)
 	}
 	eval := func(p partition.Partition) (float64, bool) { return ev.Evaluate(g, p) }
-	base := search.Greedy(g, pkg.Chips, pkg.SRAMBytes)
+	base := search.GreedyPackage(g, pkg)
 	baseTh, ok := eval(base)
 	if !ok || baseTh <= 0 {
 		return nil, fmt.Errorf("experiments: greedy baseline invalid on %s", g.Name())
@@ -91,7 +91,7 @@ func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
 	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
 	env.UseSampleMode = true
 	env.PartFactory = func() (cpsolver.Partitioner, error) {
-		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+		return cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
 	}
 	return env, nil
 }

@@ -124,6 +124,44 @@ func TestTable1Smoke(t *testing.T) {
 	}
 }
 
+func TestHeteroSweepSmoke(t *testing.T) {
+	res, err := HeteroSweep(HeteroConfig{Scale: ScaleQuick, Seed: 3, Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("sweep has %d rows, want the 5 default packages", len(res.Rows))
+	}
+	topos := map[mcm.TopologyKind]bool{}
+	hetero := false
+	for _, row := range res.Rows {
+		topos[row.Topology] = true
+		hetero = hetero || row.Hetero
+		if !row.GreedyValid {
+			t.Errorf("%s: greedy baseline did not fit", row.Package)
+			continue
+		}
+		if row.RandomImprovement <= 0 || row.SAImprovement <= 0 {
+			t.Errorf("%s: search found nothing (random %v, sa %v)",
+				row.Package, row.RandomImprovement, row.SAImprovement)
+		}
+	}
+	if !hetero {
+		t.Error("sweep covers no heterogeneous package")
+	}
+	for _, k := range []mcm.TopologyKind{mcm.TopoRing, mcm.TopoBiRing, mcm.TopoMesh} {
+		if !topos[k] {
+			t.Errorf("sweep covers no %s package", k)
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"het4", "mesh16", "dev8bi", "sa"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseScale(t *testing.T) {
 	if s, err := ParseScale("quick"); err != nil || s != ScaleQuick {
 		t.Fatal("quick")

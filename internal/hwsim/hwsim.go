@@ -5,12 +5,19 @@
 //
 //   - it measures T(G,f), the steady-state throughput of a partition,
 //     modeling per-operator efficiencies, per-op dispatch overhead, and
-//     ring-link contention that the analytical cost model ignores;
+//     per-link contention over the interconnect topology's routes that the
+//     analytical cost model ignores;
 //   - it decides H(G,f), the dynamic constraint: the compiler backend's
 //     list schedule must fit each chip's SRAM, or the partition fails with
 //     zero throughput, exactly as the paper's platform behaves ("our
 //     evaluation platform returns a zero throughput when it evaluates an
 //     invalid partition").
+//
+// A partition that needs a transfer the topology cannot route (a backwards
+// edge on the uni-directional ring) is rejected with an explicit FailReason
+// rather than silently priced at zero — the analytical cost model reaches
+// the same verdict on the same partition, so the two evaluation
+// environments agree on which partitions are legal.
 //
 // Measurements carry deterministic, seed-derived noise so repeated runs
 // reproduce the paper's mean-and-standard-deviation methodology without
@@ -18,6 +25,7 @@
 package hwsim
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 
@@ -96,12 +104,18 @@ func (o Options) withDefaults() Options {
 // Simulator evaluates partitions on a simulated MCM package.
 type Simulator struct {
 	pkg  *mcm.Package
+	topo mcm.Topology
 	opts Options
 }
 
-// New returns a simulator of the package.
+// New returns a simulator of the package. It panics on a package whose
+// topology cannot be built; validate packages before simulating them.
 func New(pkg *mcm.Package, opts Options) *Simulator {
-	return &Simulator{pkg: pkg, opts: opts.withDefaults()}
+	topo, err := pkg.Topo()
+	if err != nil {
+		panic("hwsim: " + err.Error())
+	}
+	return &Simulator{pkg: pkg, topo: topo, opts: opts.withDefaults()}
 }
 
 // Package returns the simulated package.
@@ -118,23 +132,25 @@ type Result struct {
 	Interval float64
 	// Throughput is 1/Interval (0 when invalid).
 	Throughput float64
-	// ChipBusy and LinkBusy are per-chip compute and per-link transfer
-	// times per interval; the bottleneck defines the interval.
+	// ChipBusy and LinkBusy are per-chip compute and per-directed-link
+	// transfer times per interval; the bottleneck defines the interval.
+	// LinkBusy is indexed by the topology's link enumeration (on the
+	// default uni-directional ring, link l joins chips l and l+1).
 	ChipBusy []float64
 	LinkBusy []float64
 	// PeakMem is each chip's SRAM demand in bytes.
 	PeakMem []int64
 }
 
-// opTime returns the simulated execution time of one node.
-func (s *Simulator) opTime(n graph.Node) float64 {
+// opTime returns the simulated execution time of one node on a chip.
+func (s *Simulator) opTime(n graph.Node, chip int) float64 {
 	eff := 0.0
 	if int(n.Op) < len(opEfficiency) {
 		eff = opEfficiency[n.Op]
 	}
 	t := s.opts.OpOverhead
 	if eff > 0 && n.FLOPs > 0 {
-		t += n.FLOPs / (s.pkg.PeakFLOPs * eff)
+		t += n.FLOPs / (s.pkg.ChipFLOPs(chip) * eff)
 	}
 	return t
 }
@@ -153,10 +169,26 @@ func (s *Simulator) Evaluate(g *graph.Graph, p partition.Partition) Result {
 		res.FailReason = err.Error()
 		return res
 	}
-	// Dynamic constraint: every chip's schedule must fit in SRAM.
+	// Static transfer legality: every cut edge must be routable on the
+	// interconnect. On the uni-directional ring a backwards (dst < src)
+	// edge has no route; rejecting it here keeps the simulator in
+	// agreement with the analytical cost model, which prices the same
+	// partition as illegal, instead of silently charging it nothing.
+	for _, e := range g.Edges() {
+		a, b := p[e.From], p[e.To]
+		if a != b {
+			if _, ok := s.topo.Hops(a, b); !ok {
+				res.FailReason = fmt.Sprintf(
+					"illegal transfer: no %s route from chip %d to chip %d (edge %d -> %d)",
+					s.topo.Kind(), a, b, e.From, e.To)
+				return res
+			}
+		}
+	}
+	// Dynamic constraint: every chip's schedule must fit its SRAM.
 	for c := range scheds {
 		res.PeakMem[c] = scheds[c].PeakBytes(s.opts.PipelineFactor)
-		if res.PeakMem[c] > s.pkg.SRAMBytes {
+		if res.PeakMem[c] > s.pkg.ChipSRAM(c) {
 			res.FailReason = "out of memory on chip"
 			return res
 		}
@@ -165,24 +197,26 @@ func (s *Simulator) Evaluate(g *graph.Graph, p partition.Partition) Result {
 	// memory limit.
 	for c := range scheds {
 		for _, v := range scheds[c].Ops {
-			res.ChipBusy[c] += s.opTime(g.Node(v))
+			res.ChipBusy[c] += s.opTime(g.Node(v), c)
 		}
-		util := float64(res.PeakMem[c]) / float64(s.pkg.SRAMBytes)
+		util := float64(res.PeakMem[c]) / float64(s.pkg.ChipSRAM(c))
 		if util > s.opts.PressureKnee {
 			res.ChipBusy[c] *= 1 + s.opts.PressureSlope*(util-s.opts.PressureKnee)
 		}
 	}
 	// Link contention: a transfer from chip a to chip b occupies every
-	// ring link in between for its serialization time.
-	if chips > 1 {
-		res.LinkBusy = make([]float64, chips-1)
+	// directed link on its route for its serialization time.
+	if nl := s.topo.NumLinks(); nl > 0 {
+		res.LinkBusy = make([]float64, nl)
+		var route []int
 		for _, e := range g.Edges() {
 			a, b := p[e.From], p[e.To]
 			if a == b {
 				continue
 			}
 			per := s.pkg.LinkLatency + float64(e.Bytes)/s.pkg.LinkBandwidth
-			for l := a; l < b; l++ {
+			route, _ = s.topo.AppendRoute(route[:0], a, b)
+			for _, l := range route {
 				res.LinkBusy[l] += per
 			}
 		}

@@ -1,0 +1,182 @@
+package mcm
+
+import "fmt"
+
+// TopologyKind tags the inter-chip interconnect of a package. The zero value
+// ("", normalized to TopoRing) is the paper's uni-directional ring, so every
+// package serialized before topologies existed deserializes to identical
+// behavior.
+type TopologyKind string
+
+// Supported interconnect topologies.
+const (
+	// TopoRing is the paper's uni-directional ring: chips-1 links, data may
+	// only move from lower to higher chip IDs (link l joins chips l and l+1).
+	TopoRing TopologyKind = "ring"
+	// TopoBiRing is a bidirectional ring with wraparound: 2*Chips directed
+	// links, transfers take the shorter direction (ties go clockwise).
+	TopoBiRing TopologyKind = "biring"
+	// TopoMesh is a 2D mesh of MeshRows x (Chips/MeshRows) chips with
+	// dimension-ordered (X-then-Y) routing, as in Simba-class MCM packages.
+	TopoMesh TopologyKind = "mesh"
+)
+
+// Topology is the routing and link-enumeration contract the cost model and
+// the hardware simulator share. Implementations are pure arithmetic over
+// chip IDs: Hops prices a transfer, AppendRoute enumerates the directed
+// links it occupies (for contention accounting), and NumLinks sizes the
+// per-link busy accounting.
+type Topology interface {
+	// Kind identifies the topology.
+	Kind() TopologyKind
+	// NumLinks is the number of directed links for contention accounting.
+	NumLinks() int
+	// Hops returns the number of links a src->dst transfer traverses, and
+	// false when the topology admits no such route (e.g. a backwards
+	// transfer on the uni-directional ring). Hops(c, c) is (0, true).
+	Hops(src, dst int) (int, bool)
+	// AppendRoute appends the directed link indices of the src->dst route
+	// to buf and returns the extended slice, with false when no route
+	// exists. The route has exactly Hops(src, dst) links.
+	AppendRoute(buf []int, src, dst int) ([]int, bool)
+}
+
+// NewTopology builds the topology arithmetic for a kind. rows is only
+// consulted by TopoMesh (the mesh has rows x (chips/rows) chips). The empty
+// kind normalizes to TopoRing. It returns an error for unknown kinds or
+// impossible mesh dimensions; Package.Validate surfaces the same conditions
+// with package context.
+func NewTopology(kind TopologyKind, chips, rows int) (Topology, error) {
+	switch kind {
+	case "", TopoRing:
+		return uniRing{chips: chips}, nil
+	case TopoBiRing:
+		return biRing{chips: chips}, nil
+	case TopoMesh:
+		if rows <= 0 || chips%rows != 0 {
+			return nil, fmt.Errorf("mcm: mesh needs mesh_rows dividing chips, got rows=%d chips=%d", rows, chips)
+		}
+		return mesh2D{rows: rows, cols: chips / rows}, nil
+	}
+	return nil, fmt.Errorf("mcm: unknown topology %q (valid: ring, biring, mesh)", kind)
+}
+
+// uniRing is the paper's uni-directional ring (really a chain of chips-1
+// links; there is no wraparound link in the patent's package).
+type uniRing struct{ chips int }
+
+func (r uniRing) Kind() TopologyKind { return TopoRing }
+
+func (r uniRing) NumLinks() int { return r.chips - 1 }
+
+func (r uniRing) Hops(src, dst int) (int, bool) {
+	if dst < src {
+		return 0, false
+	}
+	return dst - src, true
+}
+
+func (r uniRing) AppendRoute(buf []int, src, dst int) ([]int, bool) {
+	if dst < src {
+		return buf, false
+	}
+	for l := src; l < dst; l++ {
+		buf = append(buf, l)
+	}
+	return buf, true
+}
+
+// biRing is a bidirectional ring with wraparound. Directed links: index l in
+// [0, chips) is the clockwise link chip l -> (l+1) mod chips; index chips+l
+// is the counter-clockwise link chip l -> (l-1) mod chips.
+type biRing struct{ chips int }
+
+func (r biRing) Kind() TopologyKind { return TopoBiRing }
+
+func (r biRing) NumLinks() int { return 2 * r.chips }
+
+func (r biRing) Hops(src, dst int) (int, bool) {
+	cw := dst - src
+	if cw < 0 {
+		cw += r.chips
+	}
+	if ccw := r.chips - cw; ccw < cw {
+		return ccw, true
+	}
+	return cw, true
+}
+
+func (r biRing) AppendRoute(buf []int, src, dst int) ([]int, bool) {
+	cw := dst - src
+	if cw < 0 {
+		cw += r.chips
+	}
+	if cw == 0 {
+		return buf, true
+	}
+	if ccw := r.chips - cw; ccw < cw {
+		// Counter-clockwise: src -> src-1 -> ... -> dst.
+		for c := src; c != dst; c = (c - 1 + r.chips) % r.chips {
+			buf = append(buf, r.chips+c)
+		}
+		return buf, true
+	}
+	// Clockwise (ties go this way, deterministically).
+	for c := src; c != dst; c = (c + 1) % r.chips {
+		buf = append(buf, c)
+	}
+	return buf, true
+}
+
+// mesh2D is a rows x cols 2D mesh with dimension-ordered X-then-Y routing:
+// chip c sits at row c/cols, column c%cols. Directed link layout:
+//
+//	[0, H)        rightward: row r, col x -> x+1 at r*(cols-1)+x
+//	[H, 2H)       leftward:  row r, col x+1 -> x at H + r*(cols-1)+x
+//	[2H, 2H+V)    downward:  col x, row r -> r+1 at 2H + x*(rows-1)+r
+//	[2H+V, 2H+2V) upward:    col x, row r+1 -> r at 2H + V + x*(rows-1)+r
+//
+// with H = rows*(cols-1) horizontal and V = cols*(rows-1) vertical link
+// pairs.
+type mesh2D struct{ rows, cols int }
+
+func (m mesh2D) Kind() TopologyKind { return TopoMesh }
+
+func (m mesh2D) NumLinks() int {
+	return 2*m.rows*(m.cols-1) + 2*m.cols*(m.rows-1)
+}
+
+func (m mesh2D) Hops(src, dst int) (int, bool) {
+	sr, sx := src/m.cols, src%m.cols
+	dr, dx := dst/m.cols, dst%m.cols
+	return abs(sx-dx) + abs(sr-dr), true
+}
+
+func (m mesh2D) AppendRoute(buf []int, src, dst int) ([]int, bool) {
+	h := m.rows * (m.cols - 1)
+	v := m.cols * (m.rows - 1)
+	sr, sx := src/m.cols, src%m.cols
+	dr, dx := dst/m.cols, dst%m.cols
+	// X leg first, along row sr.
+	for x := sx; x < dx; x++ {
+		buf = append(buf, sr*(m.cols-1)+x)
+	}
+	for x := sx; x > dx; x-- {
+		buf = append(buf, h+sr*(m.cols-1)+x-1)
+	}
+	// Then the Y leg, along column dx.
+	for r := sr; r < dr; r++ {
+		buf = append(buf, 2*h+dx*(m.rows-1)+r)
+	}
+	for r := sr; r > dr; r-- {
+		buf = append(buf, 2*h+v+dx*(m.rows-1)+r-1)
+	}
+	return buf, true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

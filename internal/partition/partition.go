@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
 )
 
 // Partition maps node IDs to chip IDs: Partition[v] is the chip the node v
@@ -57,6 +58,7 @@ var (
 	ErrAcyclicDataflow    = errors.New("partition: acyclic dataflow constraint violated")
 	ErrSkippedChip        = errors.New("partition: no-skipping-chips constraint violated")
 	ErrTriangleDependency = errors.New("partition: chip triangle dependency constraint violated")
+	ErrUnroutableTransfer = errors.New("partition: cut edge has no route on the package topology")
 )
 
 // Validate checks the three static constraints against the graph and a
@@ -104,6 +106,35 @@ func (p Partition) Validate(g *graph.Graph, chips int) error {
 				return fmt.Errorf("%w: chips %d and %d have both a direct and an indirect dependency (longest path %d)",
 					ErrTriangleDependency, a, b, dist[a][b])
 			}
+		}
+	}
+	return nil
+}
+
+// ValidateOn checks a partition against a concrete package: the three
+// static constraints of Validate (with the package's chip count) plus
+// transfer routability — every cut edge must have a route on the package's
+// interconnect topology. On the default uni-directional ring routability is
+// implied by the acyclic dataflow constraint; richer or more restrictive
+// topologies make it an independent check, and it is what keeps the
+// evaluation environments (costmodel, hwsim) and the validator agreeing on
+// which partitions are legal.
+func (p Partition) ValidateOn(g *graph.Graph, pkg *mcm.Package) error {
+	if err := p.Validate(g, pkg.Chips); err != nil {
+		return err
+	}
+	topo, err := pkg.Topo()
+	if err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		a, b := p[e.From], p[e.To]
+		if a == b {
+			continue
+		}
+		if _, ok := topo.Hops(a, b); !ok {
+			return fmt.Errorf("%w: edge (%d,%d) needs chip %d -> %d on %s",
+				ErrUnroutableTransfer, e.From, e.To, a, b, topo.Kind())
 		}
 	}
 	return nil

@@ -49,7 +49,7 @@ type Config struct {
 }
 
 // QuickConfig returns a laptop-scale pipeline configuration for a given
-// chip count; see EXPERIMENTS.md for the knobs used by each experiment.
+// chip count; see DESIGN.md for the knobs used by each experiment.
 func QuickConfig(chips int) Config {
 	return Config{
 		Policy:            rl.QuickConfig(chips),

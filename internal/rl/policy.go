@@ -14,6 +14,7 @@ import (
 	"mcmpart/internal/gnn"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mat"
+	"mcmpart/internal/mcm"
 	"mcmpart/internal/nn"
 )
 
@@ -29,6 +30,21 @@ type Config struct {
 	// Iterations is T, the number of non-autoregressive refinement steps
 	// per episode (Eq. 7).
 	Iterations int
+	// ChipFeatures widens the policy-head input with 2C per-chip capacity
+	// features (normalized SRAM and peak-compute per chip, from
+	// GraphContext.ChipFeat), so the policy can see which dies are big and
+	// which are little on heterogeneous packages. Off by default: the
+	// paper's homogeneous packages carry no information there, and the
+	// network shape stays bit-identical to the pre-heterogeneity policy.
+	ChipFeatures bool
+}
+
+// headExtra returns the extra policy-head input width of optional features.
+func (c Config) headExtra() int {
+	if c.ChipFeatures {
+		return 2 * c.Chips
+	}
+	return 0
 }
 
 // DefaultConfig returns the paper's network shape for a package with the
@@ -39,7 +55,7 @@ func DefaultConfig(chips int) Config {
 }
 
 // QuickConfig returns a scaled-down shape for tests and default benchmark
-// runs on one CPU core (see EXPERIMENTS.md for the scale knobs).
+// runs on one CPU core (see DESIGN.md for the scale knobs).
 func QuickConfig(chips int) Config {
 	return Config{Chips: chips, Hidden: 32, SAGELayers: 2, Iterations: 2}
 }
@@ -64,7 +80,11 @@ func NewPolicy(cfg Config, rng *rand.Rand) *Policy {
 	p := &Policy{Cfg: cfg}
 	p.sage = gnn.NewSAGE(gnn.FeatureDim, cfg.Hidden, cfg.SAGELayers, rng)
 	in := cfg.Hidden + cfg.Chips
-	p.fc1 = nn.NewLinear("policy.fc1", in, cfg.Hidden, rng)
+	// The policy head additionally sees the per-chip capacity features on
+	// heterogeneous packages; the value head pools over embeddings and the
+	// chip histogram only (capacities are constant per package, so they
+	// carry no per-state information for the baseline).
+	p.fc1 = nn.NewLinear("policy.fc1", in+cfg.headExtra(), cfg.Hidden, rng)
 	p.fc2 = nn.NewLinear("policy.fc2", cfg.Hidden, cfg.Chips, rng)
 	p.vf1 = nn.NewLinear("value.fc1", in, cfg.Hidden, rng)
 	p.vf2 = nn.NewLinear("value.fc2", cfg.Hidden, 1, rng)
@@ -97,16 +117,47 @@ func (p *Policy) Snapshot() nn.Snapshot { return nn.TakeSnapshot(p.params) }
 func (p *Policy) Restore(s nn.Snapshot) error { return s.Restore(p.params) }
 
 // GraphContext caches the per-graph tensors the policy needs: adjacency and
-// static features. Build one per graph and reuse it across episodes.
+// static features, plus the optional per-chip capacity features of the
+// target package. Build one per graph and reuse it across episodes.
 type GraphContext struct {
 	G   *graph.Graph
 	Adj *gnn.Adjacency
 	X   *mat.Dense
+	// ChipFeat is the 2C-vector of per-chip capacity features consumed by
+	// policies with Config.ChipFeatures: [SRAM_0..SRAM_{C-1},
+	// FLOPs_0..FLOPs_{C-1}], each normalized by the package maximum so the
+	// biggest die reads 1. Nil for package-agnostic contexts.
+	ChipFeat []float64
 }
 
 // NewGraphContext precomputes the encoder inputs for a graph.
 func NewGraphContext(g *graph.Graph) *GraphContext {
 	return &GraphContext{G: g, Adj: gnn.BuildAdjacency(g), X: gnn.Features(g)}
+}
+
+// NewGraphContextForPackage precomputes the encoder inputs for a graph
+// targeted at a concrete package, including the per-chip capacity features
+// heterogeneity-aware policies (Config.ChipFeatures) consume.
+func NewGraphContextForPackage(g *graph.Graph, pkg *mcm.Package) *GraphContext {
+	ctx := NewGraphContext(g)
+	c := pkg.Chips
+	feat := make([]float64, 2*c)
+	maxSRAM := float64(pkg.ChipSRAM(0))
+	maxFLOPs := pkg.ChipFLOPs(0)
+	for i := 1; i < c; i++ {
+		if s := float64(pkg.ChipSRAM(i)); s > maxSRAM {
+			maxSRAM = s
+		}
+		if f := pkg.ChipFLOPs(i); f > maxFLOPs {
+			maxFLOPs = f
+		}
+	}
+	for i := 0; i < c; i++ {
+		feat[i] = float64(pkg.ChipSRAM(i)) / maxSRAM
+		feat[c+i] = pkg.ChipFLOPs(i) / maxFLOPs
+	}
+	ctx.ChipFeat = feat
+	return ctx
 }
 
 // Forward is one policy evaluation on the state (graph, previous
@@ -135,15 +186,23 @@ func (p *Policy) Forward(ctx *GraphContext, prev []int) *Forward {
 		panic(fmt.Sprintf("rl: prev has %d entries for %d nodes", len(prev), n))
 	}
 	c := p.Cfg.Chips
+	extra := p.Cfg.headExtra()
+	if extra != 0 && len(ctx.ChipFeat) != extra {
+		panic(fmt.Sprintf("rl: policy wants %d chip features, context has %d (build it with NewGraphContextForPackage)",
+			extra, len(ctx.ChipFeat)))
+	}
 	h := p.sage.Forward(ctx.Adj, ctx.X)
 
 	f := &Forward{ctx: ctx, n: n}
-	f.z = mat.New(n, p.Cfg.Hidden+c)
+	f.z = mat.New(n, p.Cfg.Hidden+c+extra)
 	for i := 0; i < n; i++ {
 		row := f.z.Row(i)
 		copy(row, h.Row(i))
 		if a := prev[i]; a >= 0 && a < c {
 			row[p.Cfg.Hidden+a] = 1
+		}
+		if extra != 0 {
+			copy(row[p.Cfg.Hidden+c:], ctx.ChipFeat)
 		}
 	}
 	f.a1 = mat.New(n, p.Cfg.Hidden)
@@ -189,7 +248,7 @@ func (p *Policy) Backward(f *Forward, dLogits *mat.Dense, dValue float64) {
 	dA1 := mat.New(f.n, p.Cfg.Hidden)
 	p.fc2.Backward(dA1, dLogits)
 	nn.ReLUBackward(dA1, dA1, f.a1)
-	dZ := mat.New(f.n, p.Cfg.Hidden+c)
+	dZ := mat.New(f.n, p.Cfg.Hidden+c+p.Cfg.headExtra())
 	p.fc1.Backward(dZ, dA1)
 	// Value head.
 	dVout := mat.FromSlice(1, 1, []float64{dValue})

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"testing"
 
 	"mcmpart/internal/graph"
@@ -102,6 +103,34 @@ func TestPeakBytesAppliesPipelineFactor(t *testing.T) {
 	}
 	if got := cs.PeakBytes(1); got != 1100 {
 		t.Fatalf("PeakBytes = %d, want 1100", got)
+	}
+}
+
+// TestPeakBytesProperties checks, over randomized schedules, that PeakBytes
+// is non-negative and monotone in the pipeline factor (more buffering can
+// never shrink the SRAM demand).
+func TestPeakBytesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		cs := ChipSchedule{
+			ParamBytes:          int64(rng.Intn(1 << 30)),
+			PeakActivationBytes: int64(rng.Intn(1 << 30)),
+		}
+		factors := []float64{0, 0.5, 1, 1.5, 2, 3 + rng.Float64()}
+		prev := int64(-1)
+		for _, f := range factors {
+			got := cs.PeakBytes(f)
+			if got < 0 {
+				t.Fatalf("PeakBytes(%v) = %d < 0 for %+v", f, got, cs)
+			}
+			if got < cs.ParamBytes {
+				t.Fatalf("PeakBytes(%v) = %d below pinned weights %d", f, got, cs.ParamBytes)
+			}
+			if got < prev {
+				t.Fatalf("PeakBytes not monotone in pipeline factor: %d after %d at %v for %+v", got, prev, f, cs)
+			}
+			prev = got
+		}
 	}
 }
 

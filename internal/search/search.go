@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"mcmpart/internal/graph"
+	"mcmpart/internal/mcm"
 	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 )
@@ -55,6 +56,12 @@ func (c SAConfig) withDefaults() SAConfig {
 // evaluates it, and accepts or rejects the new distribution by the
 // Metropolis rule.
 func Anneal(env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) {
+	// The seeding evaluation below consumes one sample; without this guard
+	// a zero (or already exhausted) budget would still burn it and overrun
+	// the evaluation budget the figures' x-axes are measured in.
+	if env.Samples >= budget {
+		return
+	}
 	cfg = cfg.withDefaults()
 	n := env.Ctx.G.NumNodes()
 	c := env.Part.Chips()
@@ -108,6 +115,19 @@ func Anneal(env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) {
 // oblivious to pipeline balance, which is exactly the headroom the paper's
 // search methods exploit (their BERT partitions reach ~2.6x this baseline).
 func Greedy(g *graph.Graph, chips int, sramBytes int64) partition.Partition {
+	return greedyBudget(g, chips, func(int) int64 { return sramBytes })
+}
+
+// GreedyPackage runs the greedy heuristic against a concrete package,
+// filling each chip to its own SRAM watermark — the heterogeneity-aware
+// form of Greedy. On homogeneous packages it is bit-identical to
+// Greedy(g, pkg.Chips, pkg.SRAMBytes).
+func GreedyPackage(g *graph.Graph, pkg *mcm.Package) partition.Partition {
+	return greedyBudget(g, pkg.Chips, pkg.ChipSRAM)
+}
+
+// greedyBudget is the shared implementation: sram(c) is chip c's SRAM size.
+func greedyBudget(g *graph.Graph, chips int, sram func(int) int64) partition.Partition {
 	order, err := g.TopoOrder()
 	if err != nil {
 		panic("search: Greedy needs a DAG: " + err.Error())
@@ -133,7 +153,7 @@ func Greedy(g *graph.Graph, chips int, sramBytes int64) partition.Partition {
 			nextGap[i] = nextGap[i-1]
 		}
 	}
-	memBudget := sramBytes * 7 / 10
+	memBudget := sram(0) * 7 / 10
 	p := make(partition.Partition, n)
 	chip := 0
 	var memOnChip, maxOut int64
@@ -150,6 +170,7 @@ func Greedy(g *graph.Graph, chips int, sramBytes int64) partition.Partition {
 		demand := memOnChip + node.ParamBytes + 4*out
 		if memOnChip > 0 && demand > memBudget && chip < chips-1 && idx > 0 && idx-1 >= minGap {
 			chip++
+			memBudget = sram(chip) * 7 / 10
 			memOnChip = 0
 			maxOut = 0
 			minGap = nextGap[idx-1]

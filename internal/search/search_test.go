@@ -101,6 +101,73 @@ func TestAnnealImprovesAndRespectsBudget(t *testing.T) {
 	}
 }
 
+// TestBudgetNeverOverrun pins the evaluation-budget contract for every
+// search strategy at the edge cases: budget 0 must consume no samples at
+// all (Anneal used to burn its seeding evaluation before the first budget
+// check) and budget 1 exactly one.
+func TestBudgetNeverOverrun(t *testing.T) {
+	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 6, Input: 128, Hidden: 256, Output: 64, Batch: 8})
+	strategies := map[string]func(env *rl.Env, budget int, rng *rand.Rand){
+		"random": Random,
+		"anneal": func(env *rl.Env, budget int, rng *rand.Rand) { Anneal(env, budget, SAConfig{}, rng) },
+	}
+	for name, run := range strategies {
+		for _, budget := range []int{0, 1, 2, 7} {
+			env := modelEnv(t, g, mcm.Dev4())
+			run(env, budget, rand.New(rand.NewSource(int64(budget)+5)))
+			if env.Samples > budget {
+				t.Errorf("%s with budget %d consumed %d samples", name, budget, env.Samples)
+			}
+			if budget > 0 && env.Samples == 0 {
+				t.Errorf("%s with budget %d consumed no samples", name, budget)
+			}
+		}
+	}
+}
+
+func TestGreedyPackageMatchesGreedyOnHomogeneous(t *testing.T) {
+	pkg := mcm.Dev8()
+	for _, g := range workload.CorpusGraphs(4)[:10] {
+		a := Greedy(g, pkg.Chips, pkg.SRAMBytes)
+		b := GreedyPackage(g, pkg)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("%s: GreedyPackage diverges from Greedy at node %d: %v vs %v", g.Name(), v, a[v], b[v])
+			}
+		}
+	}
+}
+
+func TestGreedyPackageRespectsPerChipBudgets(t *testing.T) {
+	// Alternating fat ops on a big/little package: the little dies' 0.7 *
+	// 8 MiB watermark must force earlier cuts than the big dies'.
+	g := graph.New("fat")
+	for i := 0; i < 8; i++ {
+		g.AddNode(graph.Node{Op: graph.OpMatMul, FLOPs: 1e6, ParamBytes: 5 << 20, OutputBytes: 16})
+		if i > 0 {
+			g.MustAddEdge(i-1, i, 16)
+		}
+	}
+	pkg := mcm.Het4()
+	p := GreedyPackage(g, pkg)
+	if err := p.Validate(g, pkg.Chips); err != nil {
+		t.Fatal(err)
+	}
+	loads := p.Loads(g, pkg.Chips)
+	// All chips but the last respect their own watermark plus at most the
+	// op that crossed it; the last chip absorbs any overflow by design.
+	for c := 0; c < pkg.Chips-1; c++ {
+		if budget := pkg.ChipSRAM(c) * 7 / 10; loads[c].ParamBytes > budget+5<<20 {
+			t.Errorf("chip %d holds %d bytes of weights against budget %d", c, loads[c].ParamBytes, budget)
+		}
+	}
+	// The little die 2 must cut earlier than the big dies: it cannot hold
+	// more weights than a big die did.
+	if loads[2].ParamBytes > loads[0].ParamBytes {
+		t.Errorf("little chip 2 (%d bytes) loaded beyond big chip 0 (%d bytes)", loads[2].ParamBytes, loads[0].ParamBytes)
+	}
+}
+
 func TestSearchBeatsGreedyOnImbalancedGraph(t *testing.T) {
 	// A graph with wildly varying node costs: node-count-balanced greedy
 	// is far from compute-balanced, so even a modest random search should

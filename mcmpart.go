@@ -17,9 +17,8 @@
 //	})
 //	fmt.Println(res.Partition, res.Throughput)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction results; cmd/mcmexp regenerates every table and figure of
-// the paper.
+// See DESIGN.md for the system inventory, deviations, and reproduction
+// notes; cmd/mcmexp regenerates every table and figure of the paper.
 package mcmpart
 
 import (
@@ -66,8 +65,25 @@ func Dev4() *Package { return mcm.Dev4() }
 // Dev8 returns an 8-chip package for experimentation.
 func Dev8() *Package { return mcm.Dev8() }
 
-// PackagePreset returns a package by name ("dev4", "dev8", "edge36").
+// Het4 returns a heterogeneous big/little 4-chip package (two 16 MiB /
+// 2 TFLOP/s dies, two 8 MiB / 1 TFLOP/s dies) on the default ring.
+func Het4() *Package { return mcm.Het4() }
+
+// Dev8Bi returns the dev8 package on a bidirectional wraparound ring.
+func Dev8Bi() *Package { return mcm.Dev8Bi() }
+
+// Mesh16 returns a 16-chip 4x4 2D-mesh package with X-then-Y routing.
+func Mesh16() *Package { return mcm.Mesh16() }
+
+// PackagePreset returns a package by name ("dev4", "dev8", "dev8bi",
+// "edge36", "het4", "mesh16").
 func PackagePreset(name string) (*Package, error) { return mcm.Preset(name) }
+
+// ParsePackageJSON deserializes and validates a package descriptor,
+// including heterogeneous per-chip arrays and the topology tag; JSON from
+// before those fields existed parses to the same homogeneous-ring behavior
+// as ever.
+func ParsePackageJSON(data []byte) (*Package, error) { return mcm.ParseJSON(data) }
 
 // BERT builds the production-scale 2138-node transformer workload.
 func BERT() *Graph { return workload.BERT() }
@@ -143,7 +159,7 @@ func PartitionGraph(g *Graph, pkg *Package, opts Options) (*Result, error) {
 		model := costmodel.New(pkg)
 		eval = func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
 	}
-	greedy := search.Greedy(g, pkg.Chips, pkg.SRAMBytes)
+	greedy := search.GreedyPackage(g, pkg)
 	baseTh, ok := eval(greedy)
 	if !ok || baseTh <= 0 {
 		return nil, fmt.Errorf("mcmpart: greedy baseline is invalid on %s; the graph may not fit the package", g.Name())
@@ -152,13 +168,22 @@ func PartitionGraph(g *Graph, pkg *Package, opts Options) (*Result, error) {
 		return &Result{Partition: greedy, Throughput: baseTh, Improvement: 1, Samples: 1}, nil
 	}
 
-	pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+	pr, err := cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
 	if err != nil {
 		return nil, err
 	}
-	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	// Heterogeneous packages expose per-chip capacities to the policy so
+	// it can learn which dies are big and which are little; homogeneous
+	// packages keep the paper's exact network shape.
+	ctx := rl.NewGraphContext(g)
+	policyCfg := rl.QuickConfig(pkg.Chips)
+	if pkg.Heterogeneous() {
+		ctx = rl.NewGraphContextForPackage(g, pkg)
+		policyCfg.ChipFeatures = true
+	}
+	env := rl.NewEnv(ctx, pr, eval, baseTh)
 	env.PartFactory = func() (cpsolver.Partitioner, error) {
-		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
+		return cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	switch opts.Method {
@@ -167,7 +192,7 @@ func PartitionGraph(g *Graph, pkg *Package, opts Options) (*Result, error) {
 	case MethodSA:
 		search.Anneal(env, opts.SampleBudget, search.SAConfig{}, rng)
 	case MethodRL:
-		policy := rl.NewPolicy(rl.QuickConfig(pkg.Chips), rng)
+		policy := rl.NewPolicy(policyCfg, rng)
 		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
 		trainer.TrainUntil([]*rl.Env{env}, opts.SampleBudget)
 	default:
@@ -195,7 +220,8 @@ func EstimateThroughput(g *Graph, pkg *Package, p Partition) float64 {
 	return costmodel.New(pkg).Throughput(g, p)
 }
 
-// Validate checks a partition against the static hardware constraints.
+// Validate checks a partition against the static hardware constraints,
+// including transfer routability on the package's interconnect topology.
 func Validate(g *Graph, pkg *Package, p Partition) error {
-	return p.Validate(g, pkg.Chips)
+	return p.ValidateOn(g, pkg)
 }
