@@ -7,6 +7,7 @@
 package mcmpart_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -57,7 +58,7 @@ func BenchmarkParallelRollouts(b *testing.B) {
 			env := ablationEnv(b, false)
 			policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
 			trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-			trainer.TrainUntil([]*rl.Env{env}, 96)
+			trainer.TrainUntil(context.Background(), []*rl.Env{env}, 96)
 			b.ReportMetric(env.BestImprovement(), "best-x")
 		}
 	})

@@ -10,6 +10,7 @@
 package mcmpart_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -19,7 +20,6 @@ import (
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/experiments"
 	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
@@ -38,7 +38,7 @@ func sharedFig5(b *testing.B) *experiments.Fig5Result {
 	fig5Mu.Lock()
 	defer fig5Mu.Unlock()
 	if fig5Res == nil && fig5Err == nil {
-		fig5Res, fig5Err = experiments.Figure5(experiments.Fig5Config{Scale: experiments.ScaleQuick, Seed: 1})
+		fig5Res, fig5Err = experiments.Figure5(context.Background(), experiments.Fig5Config{Scale: experiments.ScaleQuick, Seed: 1})
 	}
 	if fig5Err != nil {
 		b.Fatal(fig5Err)
@@ -86,7 +86,7 @@ func BenchmarkTable2SampleEfficiency(b *testing.B) {
 func BenchmarkFigure6BERTCurves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f5 := sharedFig5(b)
-		res, err := experiments.Figure6(experiments.Fig6Config{
+		res, err := experiments.Figure6(context.Background(), experiments.Fig6Config{
 			Scale:      experiments.ScaleQuick,
 			Seed:       1,
 			Pretrained: f5.Pretrained,
@@ -109,7 +109,7 @@ func BenchmarkFigure6BERTCurves(b *testing.B) {
 func BenchmarkTable3BERTSampleEfficiency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f5 := sharedFig5(b)
-		res, err := experiments.Figure6(experiments.Fig6Config{
+		res, err := experiments.Figure6(context.Background(), experiments.Fig6Config{
 			Scale:        experiments.ScaleQuick,
 			Seed:         2,
 			SampleBudget: 120,
@@ -150,9 +150,8 @@ func ablationEnv(b *testing.B, useSample bool) *rl.Env {
 		b.Fatal(err)
 	}
 	model := costmodel.New(pkg)
-	eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-	baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
-	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	baseTh, _ := model.Evaluate(g, search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+	env := rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh)
 	env.UseSampleMode = useSample
 	env.PartFactory = func() (cpsolver.Partitioner, error) {
 		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
@@ -173,7 +172,7 @@ func BenchmarkAblationSolverMode(b *testing.B) {
 				env := ablationEnv(b, mode.useSample)
 				policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
 				trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-				trainer.TrainUntil([]*rl.Env{env}, 64)
+				trainer.TrainUntil(context.Background(), []*rl.Env{env}, 64)
 				b.ReportMetric(env.BestImprovement(), "best-x")
 			}
 		})
@@ -190,7 +189,7 @@ func BenchmarkAblationNoSolver(b *testing.B) {
 		env.NoSolver = true
 		policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
 		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-		trainer.TrainUntil([]*rl.Env{env}, 64)
+		trainer.TrainUntil(context.Background(), []*rl.Env{env}, 64)
 		b.ReportMetric(float64(env.ValidSamples), "valid-samples")
 		b.ReportMetric(env.BestImprovement(), "best-x")
 	}
@@ -211,7 +210,7 @@ func BenchmarkAblationGNNSize(b *testing.B) {
 					Chips: env.Part.Chips(), Hidden: cfg.hidden, SAGELayers: cfg.depth, Iterations: 2,
 				}, rng)
 				trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-				trainer.TrainUntil([]*rl.Env{env}, 48)
+				trainer.TrainUntil(context.Background(), []*rl.Env{env}, 48)
 				b.ReportMetric(env.BestImprovement(), "best-x")
 			}
 		})
@@ -229,7 +228,7 @@ func BenchmarkAblationIterationT(b *testing.B) {
 				cfg.Iterations = T
 				policy := rl.NewPolicy(cfg, rng)
 				trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-				trainer.TrainUntil([]*rl.Env{env}, 48)
+				trainer.TrainUntil(context.Background(), []*rl.Env{env}, 48)
 				b.ReportMetric(env.BestImprovement(), "best-x")
 			}
 		})

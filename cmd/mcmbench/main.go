@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	mcmbench [-out BENCH_PR2.json] [-workers N] [-iters N] [-pr N]
+//	mcmbench [-out BENCH_PR3.json] [-workers N] [-iters N] [-pr N]
+//
+// Besides the worker-pool speedups, the report carries a transfer
+// benchmark: the samples each deployment mode (RL from scratch, zero-shot,
+// fine-tuning) needs to reach a fixed improvement on a held-out dev8
+// graph after one shared pre-training run — the paper's sample-efficiency
+// claim (Sec. 5.2/5.3) tracked PR over PR.
 //
 // Each benchmark runs the same seeded computation twice — once at
 // workers=1 and once at workers=N — reporting wall-clock for both, the
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,13 +30,13 @@ import (
 	"runtime"
 	"time"
 
+	"mcmpart"
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/experiments"
 	"mcmpart/internal/mat"
 	"mcmpart/internal/mcm"
 	"mcmpart/internal/parallel"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
@@ -48,19 +55,34 @@ type Bench struct {
 	OutputsIdentical bool `json:"outputs_identical"`
 }
 
+// TransferBench reports the sample cost of reaching a fixed improvement
+// threshold on a held-out graph per deployment mode (0 = not reached
+// within the budget).
+type TransferBench struct {
+	Package         string  `json:"package"`
+	Graph           string  `json:"graph"`
+	Threshold       float64 `json:"threshold"`
+	Budget          int     `json:"budget"`
+	PretrainSamples int     `json:"pretrain_samples"`
+	SamplesScratch  int     `json:"samples_scratch"`
+	SamplesZeroShot int     `json:"samples_zeroshot"`
+	SamplesFineTune int     `json:"samples_finetune"`
+}
+
 // Report is the emitted JSON document.
 type Report struct {
-	PR      int     `json:"pr"`
-	CPUs    int     `json:"cpus"`
-	Workers int     `json:"workers"`
-	Benches []Bench `json:"benchmarks"`
+	PR       int            `json:"pr"`
+	CPUs     int            `json:"cpus"`
+	Workers  int            `json:"workers"`
+	Benches  []Bench        `json:"benchmarks"`
+	Transfer *TransferBench `json:"transfer,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to benchmark against workers=1")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (best is kept)")
-	pr := flag.Int("pr", 2, "PR number recorded in the report")
+	pr := flag.Int("pr", 3, "PR number recorded in the report")
 	flag.Parse()
 
 	rep := Report{PR: *pr, CPUs: runtime.NumCPU(), Workers: *workers}
@@ -70,6 +92,7 @@ func main() {
 		benchFig7(*workers, *iters),
 		benchTable1(*workers, *iters),
 	)
+	rep.Transfer = benchTransfer()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -83,6 +106,9 @@ func main() {
 		fmt.Printf("%-18s serial %8.1f ms   workers=%d %8.1f ms   speedup %.2fx   identical=%v\n",
 			b.Name, b.SerialMs, *workers, b.ParallelMs, b.Speedup, b.OutputsIdentical)
 	}
+	t := rep.Transfer
+	fmt.Printf("transfer %s/%s: samples to %.2fx — scratch %d, zero-shot %d, fine-tune %d (0 = not reached in %d)\n",
+		t.Package, t.Graph, t.Threshold, t.SamplesScratch, t.SamplesZeroShot, t.SamplesFineTune, t.Budget)
 	fmt.Println("wrote", *out)
 }
 
@@ -142,16 +168,17 @@ func benchRollouts(workers, iters int) Bench {
 			fatal(err)
 		}
 		model := costmodel.New(pkg)
-		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.GreedyPackage(g, pkg))
-		env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+		baseTh, _ := model.Evaluate(g, search.GreedyPackage(g, pkg))
+		env := rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh)
 		env.PartFactory = func() (cpsolver.Partitioner, error) {
 			return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
 		}
 		rng := rand.New(rand.NewSource(5))
 		policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
 		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-		trainer.TrainUntil([]*rl.Env{env}, 96)
+		if _, err := trainer.TrainUntil(context.Background(), []*rl.Env{env}, 96); err != nil {
+			fatal(err)
+		}
 		return env.BestImprovement() + float64(env.Samples)
 	})
 }
@@ -180,6 +207,50 @@ func benchTable1(workers, iters int) Bench {
 		}
 		return res.RawValidPct + res.SolverValidPct
 	})
+}
+
+// benchTransfer measures the paper's sample-efficiency claim through the
+// public Planner API: one shared pre-training run on dev8 corpus graphs,
+// then the samples each deployment mode needs to first reach the
+// threshold improvement on a held-out graph.
+func benchTransfer() *TransferBench {
+	ctx := context.Background()
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		fatal(err)
+	}
+	corpus := mcmpart.CorpusGraphs(1)
+	const pretrainSamples = 400
+	if _, err := pl.Pretrain(ctx, corpus[:10], mcmpart.PretrainOptions{
+		TotalSamples:     pretrainSamples,
+		Checkpoints:      5,
+		ValidationGraphs: 2,
+	}); err != nil {
+		fatal(err)
+	}
+	held := corpus[len(corpus)-1]
+	t := &TransferBench{
+		Package:         "dev8",
+		Graph:           held.Name(),
+		Threshold:       1.05,
+		Budget:          80,
+		PretrainSamples: pretrainSamples,
+	}
+	run := func(m mcmpart.Method) int {
+		res, err := pl.Plan(ctx, held, mcmpart.PlanOptions{Method: m, SampleBudget: t.Budget, Seed: 7})
+		if err != nil {
+			fatal(err)
+		}
+		n, ok := res.SamplesToImprovement(t.Threshold)
+		if !ok {
+			return 0
+		}
+		return n
+	}
+	t.SamplesScratch = run(mcmpart.MethodRL)
+	t.SamplesZeroShot = run(mcmpart.MethodZeroShot)
+	t.SamplesFineTune = run(mcmpart.MethodFineTune)
+	return t
 }
 
 func fatal(err error) {

@@ -6,9 +6,14 @@
 //
 //	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|hetero|all
 //	       [-scale quick|full] [-seed N] [-workers N] [-mcm p1,p2,...]
+//	       [-timeout 30m]
 //
 // -mcm restricts the hetero sweep to a comma-separated list of package
 // presets (default: dev4,het4,dev8,dev8bi,mesh16).
+//
+// -timeout aborts a run that exceeds the given wall-clock budget (the
+// search loops observe context cancellation and stop at the next sample
+// or iteration boundary).
 //
 // Quick scale (default) runs reduced budgets sized for one CPU core; full
 // scale runs the paper's budgets (see DESIGN.md for the mapping).
@@ -22,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,9 +46,16 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(),
 		"worker-pool size for trials/rollouts/sampling (results are identical at any value)")
 	mcmList := flag.String("mcm", "", "comma-separated package presets for the hetero sweep (default dev4,het4,dev8,dev8bi,mesh16)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	flag.Parse()
 
 	parallel.SetDefault(*workers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
@@ -59,7 +72,7 @@ func main() {
 
 	var f5 *experiments.Fig5Result
 	if run("fig5") || run("table2") || run("fig6") || run("table3") {
-		f5, err = experiments.Figure5(experiments.Fig5Config{Scale: scale, Seed: *seed})
+		f5, err = experiments.Figure5(ctx, experiments.Fig5Config{Scale: scale, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +86,7 @@ func main() {
 
 	var f6 *experiments.Fig6Result
 	if run("fig6") || run("table3") {
-		f6, err = experiments.Figure6(experiments.Fig6Config{
+		f6, err = experiments.Figure6(ctx, experiments.Fig6Config{
 			Scale:      scale,
 			Seed:       *seed,
 			Pretrained: f5.Pretrained,
@@ -112,7 +125,7 @@ func main() {
 				cfg.Packages = append(cfg.Packages, pkg)
 			}
 		}
-		res, err := experiments.HeteroSweep(cfg)
+		res, err := experiments.HeteroSweep(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,21 +1,77 @@
-// Quickstart: build a small CNN, partition it onto a 4-chip MCM package
-// with the constrained-RL partitioner, and inspect the result.
+// Quickstart: the Planner session API end to end — pre-train a policy on a
+// small corpus, save it as a versioned artifact, load it into a fresh
+// planner, and deploy it zero-shot on an unseen residual CNN, watching
+// progress stream as the plan runs.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"mcmpart"
 	"mcmpart/internal/workload"
 )
 
 func main() {
-	// A residual CNN: the skip connections are what make naive
-	// partitioning invalid on MCM hardware (an edge may not straddle two
-	// chip boundaries).
+	ctx := context.Background()
+	pkg := mcmpart.Dev4()
+
+	// 1. Pre-train once on a slice of the synthetic corpus (Sec. 4.3's
+	// pipeline: PPO against the analytical cost model, validation worker
+	// picks the transferable checkpoint).
+	pl, err := mcmpart.NewPlanner(pkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pre-training on 6 corpus graphs...")
+	report, err := pl.Pretrain(ctx, mcmpart.CorpusGraphs(1)[:6], mcmpart.PretrainOptions{
+		TotalSamples: 300,
+		Checkpoints:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-trained: %d checkpoints, best #%d (validation scores %.3f)\n\n",
+		report.Checkpoints, report.BestIndex, report.Scores)
+
+	// 2. Save the policy as a versioned artifact. The file embeds a
+	// fingerprint of the package, so loading it into a planner for a
+	// different package fails loudly instead of silently mis-planning.
+	dir, err := os.MkdirTemp("", "mcmpart-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	artifact := filepath.Join(dir, "dev4.policy.json")
+	if err := pl.SavePolicy(artifact); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved policy artifact to %s\n", artifact)
+
+	// 3. A later session (a fresh planner) loads the artifact…
+	pl2, err := mcmpart.NewPlanner(pkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pl2.LoadPolicy(artifact); err != nil {
+		log.Fatal(err)
+	}
+	// …while a planner for a different package refuses it.
+	wrong, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loading dev4 policy into a dev8 planner: %v\n\n", wrong.LoadPolicy(artifact))
+
+	// 4. Plan an unseen graph zero-shot: no weight updates, just the
+	// pre-trained policy driving the constraint solver. A residual CNN's
+	// skip connections are what make naive partitioning invalid on MCM
+	// hardware (an edge may not straddle two chip boundaries).
 	g := workload.ResidualCNN(workload.CNNConfig{
 		Name:           "quickstart-resnet",
 		InputSize:      32,
@@ -24,22 +80,23 @@ func main() {
 		BlocksPerStage: 2,
 		Classes:        10,
 	})
-	pkg := mcmpart.Dev4()
-	fmt.Printf("graph: %v\npackage: %v\n\n", g, pkg)
-
-	res, err := mcmpart.PartitionGraph(g, pkg, mcmpart.Options{
-		Method:       mcmpart.MethodRL,
-		SampleBudget: 120,
-		Seed:         1,
+	fmt.Printf("planning %v zero-shot\n", g)
+	res, err := pl2.Plan(ctx, g, mcmpart.PlanOptions{
+		Method:       mcmpart.MethodZeroShot,
+		SampleBudget: 60,
+		Progress: func(ev mcmpart.ProgressEvent) {
+			if ev.Samples%20 == 0 {
+				fmt.Printf("  %3d samples, best %.3fx\n", ev.Samples, ev.BestImprovement)
+			}
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("best partition after %d samples: %v\n", res.Samples, res.Partition)
-	fmt.Printf("throughput: %.0f inferences/s (%.2fx over the greedy heuristic)\n\n",
-		res.Throughput, res.Improvement)
+	fmt.Printf("best partition after %d samples: %.2fx over the greedy heuristic\n\n",
+		res.Samples, res.Improvement)
 
-	// Check it against the hardware simulator, including the dynamic
+	// 5. Check it against the hardware simulator, including the dynamic
 	// memory constraint the solver cannot see.
 	hw := mcmpart.Evaluate(g, pkg, res.Partition)
 	fmt.Printf("hardware check: valid=%v interval=%.3gs\n", hw.Valid, hw.Interval)

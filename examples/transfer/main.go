@@ -1,83 +1,67 @@
 // Transfer learning: pre-train the RL policy on a set of small models with
 // the analytical cost model as reward, then deploy it zero-shot and with
-// fine-tuning on an unseen graph — the paper's Figure 4 workflow end to end.
+// fine-tuning on an unseen graph — the paper's Figure 4 workflow end to
+// end, entirely through the public Planner API.
 //
 //	go run ./examples/transfer
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"strings"
 
-	"mcmpart/internal/costmodel"
-	"mcmpart/internal/cpsolver"
-	"mcmpart/internal/graph"
-	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
-	"mcmpart/internal/pretrain"
-	"mcmpart/internal/rl"
-	"mcmpart/internal/search"
-	"mcmpart/internal/workload"
+	"mcmpart"
 )
 
 func main() {
-	pkg := mcm.Dev8()
-	model := costmodel.New(pkg)
-	factory := func(g *graph.Graph) (*rl.Env, error) {
-		pr, err := cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
-		if err != nil {
-			return nil, err
-		}
-		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.GreedyPackage(g, pkg))
-		return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh), nil
+	ctx := context.Background()
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// Pre-train on a handful of corpus graphs.
-	ds := workload.Corpus(1)
-	cfg := pretrain.QuickConfig(pkg.Chips)
-	cfg.TotalSamples = 400
-	cfg.Checkpoints = 5
-	fmt.Println("pre-training on", len(ds.Train[:8]), "graphs against the analytical cost model...")
-	res, err := pretrain.Run(ds.Train[:8], ds.Validation[:2], factory, cfg)
+	// Pre-train on a handful of corpus graphs (the last two are held out
+	// as the validation set the checkpoint selector scores against).
+	corpus := mcmpart.CorpusGraphs(1)
+	fmt.Println("pre-training on 8 graphs against the analytical cost model...")
+	report, err := pl.Pretrain(ctx, corpus[:10], mcmpart.PretrainOptions{
+		TotalSamples:     400,
+		Checkpoints:      5,
+		ValidationGraphs: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpoints: %d, validation scores: %.3f (best #%d)\n\n",
-		len(res.Checkpoints), res.Scores, res.BestIndex)
+		report.Checkpoints, report.Scores, report.BestIndex)
 
-	// Deploy on an unseen test graph three ways (an MLP: the family with
-	// the widest gap between the greedy baseline and a balanced pipeline).
-	unseen := ds.Test[0]
-	for _, g := range ds.Test {
+	// Deploy on an unseen graph three ways (an MLP from the held-out tail
+	// of the corpus: the family with the widest gap between the greedy
+	// baseline and a balanced pipeline).
+	unseen := corpus[len(corpus)-1]
+	for _, g := range corpus[80:] {
 		if strings.HasPrefix(g.Name(), "mlp") {
 			unseen = g
 			break
 		}
 	}
 	fmt.Printf("deploying on unseen graph %v\n", unseen)
-	budget := 60
-	rng := rand.New(rand.NewSource(2))
-
-	fresh, _ := factory(unseen)
-	search.Random(fresh, budget, rng)
-	fmt.Printf("  random search:   %.3fx after %d samples\n", fresh.BestImprovement(), fresh.Samples)
-
-	zs, _ := factory(unseen)
-	policy := rl.NewPolicy(cfg.Policy, rng)
-	if err := policy.Restore(res.Best()); err != nil {
-		log.Fatal(err)
+	const threshold = 1.05
+	for _, m := range []mcmpart.Method{mcmpart.MethodRL, mcmpart.MethodZeroShot, mcmpart.MethodFineTune} {
+		res, err := pl.Plan(ctx, unseen, mcmpart.PlanOptions{
+			Method:       m,
+			SampleBudget: 80,
+			Seed:         7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reach := "not reached"
+		if n, ok := res.SamplesToImprovement(threshold); ok {
+			reach = fmt.Sprintf("%d samples to %.2fx", n, threshold)
+		}
+		fmt.Printf("  %-9s best %.3fx after %d samples (%s)\n", m, res.Improvement, res.Samples, reach)
 	}
-	rl.ZeroShot(policy, zs, budget, rng)
-	fmt.Printf("  RL zero-shot:    %.3fx after %d samples\n", zs.BestImprovement(), zs.Samples)
-
-	ft, _ := factory(unseen)
-	policy2 := rl.NewPolicy(cfg.Policy, rng)
-	if err := policy2.Restore(res.Best()); err != nil {
-		log.Fatal(err)
-	}
-	rl.FineTune(policy2, ft, cfg.PPO, budget, rng)
-	fmt.Printf("  RL fine-tuning:  %.3fx after %d samples\n", ft.BestImprovement(), ft.Samples)
 }

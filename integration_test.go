@@ -1,6 +1,7 @@
 package mcmpart_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -9,7 +10,6 @@ import (
 	"mcmpart/internal/graph"
 	"mcmpart/internal/hwsim"
 	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/pretrain"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
@@ -28,9 +28,8 @@ func TestEndToEndTransferPipeline(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
-		env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+		baseTh, _ := model.Evaluate(g, search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		env := rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh)
 		env.UseSampleMode = true
 		return env, nil
 	}
@@ -42,7 +41,7 @@ func TestEndToEndTransferPipeline(t *testing.T) {
 	cfg.TotalSamples = 64
 	cfg.Checkpoints = 3
 	cfg.ValidationSamples = 4
-	res, err := pretrain.Run(ds.Train[:3], ds.Validation[:2], factory, cfg)
+	res, err := pretrain.Run(context.Background(), ds.Train[:3], ds.Validation[:2], factory, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +56,9 @@ func TestEndToEndTransferPipeline(t *testing.T) {
 	if err := policy.Restore(res.Best()); err != nil {
 		t.Fatal(err)
 	}
-	rl.FineTune(policy, env, cfg.PPO, 16, rng)
+	if _, err := rl.FineTune(context.Background(), policy, env, cfg.PPO, 16, rng); err != nil {
+		t.Fatal(err)
+	}
 	if env.Best == nil {
 		t.Fatal("fine-tuning found no valid partition")
 	}
@@ -88,24 +89,25 @@ func TestSearchMethodsAgreeOnEvaluator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
-		env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+		baseTh, _ := model.Evaluate(g, search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		env := rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh)
 		env.UseSampleMode = true
 		return env
 	}
 	rng := rand.New(rand.NewSource(13))
 
 	random := mk()
-	search.Random(random, 25, rng)
+	search.Random(context.Background(), random, 25, rng)
 	sa := mk()
-	search.Anneal(sa, 25, search.SAConfig{}, rng)
+	search.Anneal(context.Background(), sa, 25, search.SAConfig{}, rng)
 	rlEnv := mk()
 	policy := rl.NewPolicy(rl.Config{Chips: pkg.Chips, Hidden: 12, SAGELayers: 1, Iterations: 1}, rng)
 	trainer := rl.NewTrainer(policy, rl.PPOConfig{
 		Rollouts: 4, MiniBatches: 1, Epochs: 1, LR: 3e-4, ClipEps: 0.2, ValueCoef: 0.5, EntropyCoef: 0.01,
 	}, rng)
-	trainer.TrainUntil([]*rl.Env{rlEnv}, 25)
+	if _, err := trainer.TrainUntil(context.Background(), []*rl.Env{rlEnv}, 25); err != nil {
+		t.Fatal(err)
+	}
 
 	for name, env := range map[string]*rl.Env{"random": random, "sa": sa, "rl": rlEnv} {
 		if env.Samples < 25 {

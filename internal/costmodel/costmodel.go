@@ -18,6 +18,7 @@ package costmodel
 import (
 	"math"
 
+	"mcmpart/internal/eval"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mcm"
 	"mcmpart/internal/partition"
@@ -28,6 +29,9 @@ type Model struct {
 	pkg  *mcm.Package
 	topo mcm.Topology
 }
+
+// Model is one of the two evaluation environments of the paper's pipeline.
+var _ eval.Evaluator = (*Model)(nil)
 
 // New returns an analytical model of the package. It panics on a package
 // whose topology cannot be built; validate packages before modeling them.
@@ -96,4 +100,15 @@ func (m *Model) Evaluate(g *graph.Graph, p partition.Partition) (float64, bool) 
 		return 0, true
 	}
 	return 1 / l, true
+}
+
+// Assess implements eval.Evaluator. The analytical model has no memory
+// model, so Utilization is always 0 and the only failure it can report is
+// an unroutable transfer.
+func (m *Model) Assess(g *graph.Graph, p partition.Partition) eval.Verdict {
+	th, ok := m.Evaluate(g, p)
+	if !ok {
+		return eval.Verdict{FailReason: "unroutable transfer on " + string(m.topo.Kind()) + " topology"}
+	}
+	return eval.Verdict{Throughput: th, Valid: true}
 }

@@ -1,0 +1,50 @@
+// Package eval defines the single evaluation-environment contract shared by
+// the analytical cost model (internal/costmodel) and the hardware simulator
+// (internal/hwsim). The paper's pipeline evaluates candidate partitions in
+// two environments — the fast analytical model during pre-training and the
+// hardware platform during deployment (Sec. 4.3, Sec. 5.1) — and every
+// search loop in this repository is generic over which one it talks to.
+//
+// Before this package the boundary was an ad-hoc closure
+// (func(Partition) (float64, bool)) rebuilt at every call site, which lost
+// the failure reason and the resource picture the simulator computes anyway.
+// Evaluator returns a rich Verdict instead, so environments can count why
+// samples fail and planners can report utilization, while the two
+// implementations still agree on which partitions are legal at all.
+package eval
+
+import (
+	"mcmpart/internal/graph"
+	"mcmpart/internal/partition"
+)
+
+// Verdict is the outcome of evaluating one partition in one environment.
+type Verdict struct {
+	// Throughput is the evaluated steady-state throughput in inferences
+	// per second; 0 when the partition is invalid.
+	Throughput float64
+	// Valid reports whether the partition passed the environment's
+	// constraints (static routability everywhere; additionally the dynamic
+	// memory constraint on the simulator).
+	Valid bool
+	// FailReason describes why Valid is false ("" when valid).
+	FailReason string
+	// Utilization is the peak fractional SRAM utilization across chips
+	// (0 when the environment does not model memory, as the analytical
+	// cost model does not).
+	Utilization float64
+}
+
+// Evaluator is the evaluation-environment contract: assess one partition of
+// one graph. Implementations must be safe for concurrent use — rollout
+// collection fans evaluations across worker goroutines.
+type Evaluator interface {
+	Assess(g *graph.Graph, p partition.Partition) Verdict
+}
+
+// Func adapts a plain function to the Evaluator interface (tests and
+// special-purpose environments).
+type Func func(g *graph.Graph, p partition.Partition) Verdict
+
+// Assess implements Evaluator.
+func (f Func) Assess(g *graph.Graph, p partition.Partition) Verdict { return f(g, p) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -28,11 +29,11 @@ func TestFigure5WorkerCountDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full Figure 5 runs")
 	}
-	r1, err := Figure5(det5Cfg(1))
+	r1, err := Figure5(context.Background(), det5Cfg(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := Figure5(det5Cfg(8))
+	r8, err := Figure5(context.Background(), det5Cfg(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,12 +79,12 @@ func TestFigure6WorkerCountDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two BERT trial sweeps")
 	}
-	f5, err := Figure5(det5Cfg(8))
+	f5, err := Figure5(context.Background(), det5Cfg(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := func(w int) *Fig6Result {
-		res, err := Figure6(Fig6Config{
+		res, err := Figure6(context.Background(), Fig6Config{
 			Scale:        ScaleQuick,
 			Seed:         1,
 			SampleBudget: 24,

@@ -15,10 +15,10 @@ import (
 
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/eval"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/hwsim"
 	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
@@ -61,34 +61,20 @@ const (
 // Methods lists the strategies in the paper's legend order.
 var Methods = []Method{MethodRandom, MethodSA, MethodRL, MethodZeroshot, MethodFinetuning}
 
-// evaluator abstracts the two environments: the analytical cost model
-// (pre-training) and the hardware simulator (deployment).
-type evaluator interface {
-	Evaluate(g *graph.Graph, p partition.Partition) (float64, bool)
-}
-
-// simAdapter adapts hwsim's richer interface to the evaluator contract.
-type simAdapter struct{ sim *hwsim.Simulator }
-
-func (a simAdapter) Evaluate(g *graph.Graph, p partition.Partition) (float64, bool) {
-	return a.sim.EvaluateThroughput(g, p)
-}
-
 // newEnv wires a graph to a partitioner, an evaluator and the greedy
 // baseline, producing an RL/search environment. The partitioner factory
 // enables concurrent rollout collection (one solver replica per worker).
-func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
+func newEnv(g *graph.Graph, pkg *mcm.Package, ev eval.Evaluator) (*rl.Env, error) {
 	pr, err := cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: partitioner for %s: %w", g.Name(), err)
 	}
-	eval := func(p partition.Partition) (float64, bool) { return ev.Evaluate(g, p) }
 	base := search.GreedyPackage(g, pkg)
-	baseTh, ok := eval(base)
-	if !ok || baseTh <= 0 {
+	bv := ev.Assess(g, base)
+	if !bv.Valid || bv.Throughput <= 0 {
 		return nil, fmt.Errorf("experiments: greedy baseline invalid on %s", g.Name())
 	}
-	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	env := rl.NewEnv(rl.NewGraphContext(g), pr, ev, bv.Throughput)
 	env.UseSampleMode = true
 	env.PartFactory = func() (cpsolver.Partitioner, error) {
 		return cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
@@ -97,11 +83,13 @@ func newEnv(g *graph.Graph, pkg *mcm.Package, ev evaluator) (*rl.Env, error) {
 }
 
 // modelEvaluator returns the analytical-cost-model evaluator for a package.
-func modelEvaluator(pkg *mcm.Package) evaluator { return costmodel.New(pkg) }
+func modelEvaluator(pkg *mcm.Package) eval.Evaluator { return costmodel.New(pkg) }
 
-// simEvaluator returns the hardware-simulator evaluator for a package.
-func simEvaluator(pkg *mcm.Package, seed int64) evaluator {
-	return simAdapter{hwsim.New(pkg, hwsim.Options{Seed: seed})}
+// simEvaluator returns the hardware-simulator evaluator for a package;
+// both environments now satisfy the shared eval.Evaluator contract
+// directly, so no adapter shim is needed.
+func simEvaluator(pkg *mcm.Package, seed int64) eval.Evaluator {
+	return hwsim.New(pkg, hwsim.Options{Seed: seed})
 }
 
 // policyConfig returns the network shape for a scale.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 // exercise every code path.
 func tinyFig5(t *testing.T) *Fig5Result {
 	t.Helper()
-	res, err := Figure5(Fig5Config{
+	res, err := Figure5(context.Background(), Fig5Config{
 		Scale:           ScaleQuick,
 		Seed:            3,
 		SampleBudget:    12,
@@ -59,7 +60,7 @@ func TestFigure5SmokeAndTable2(t *testing.T) {
 
 func TestFigure6SmokeAndTable3(t *testing.T) {
 	f5 := tinyFig5(t)
-	res, err := Figure6(Fig6Config{
+	res, err := Figure6(context.Background(), Fig6Config{
 		Scale:        ScaleQuick,
 		Seed:         3,
 		SampleBudget: 10,
@@ -125,7 +126,7 @@ func TestTable1Smoke(t *testing.T) {
 }
 
 func TestHeteroSweepSmoke(t *testing.T) {
-	res, err := HeteroSweep(HeteroConfig{Scale: ScaleQuick, Seed: 3, Budget: 12})
+	res, err := HeteroSweep(context.Background(), HeteroConfig{Scale: ScaleQuick, Seed: 3, Budget: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -87,7 +88,8 @@ type Fig5Result struct {
 // Figure5 reproduces the pre-training experiment: pre-train on the training
 // set against the analytical cost model, then compare Random, SA, RL from
 // scratch, zero-shot and fine-tuning on the held-out test graphs.
-func Figure5(cfg Fig5Config) (*Fig5Result, error) {
+// Cancelling ctx aborts the run and propagates ctx.Err().
+func Figure5(ctx context.Context, cfg Fig5Config) (*Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	ds := corpus(cfg.Seed)
 	ev := modelEvaluator(cfg.Pkg)
@@ -101,7 +103,7 @@ func Figure5(cfg Fig5Config) (*Fig5Result, error) {
 	factory := func(g *graph.Graph) (*rl.Env, error) { return newEnv(g, cfg.Pkg, ev) }
 	ppoCfg := ppoConfig(cfg.Scale)
 	ppoCfg.Workers = cfg.Workers
-	pre, err := pretrain.Run(train, ds.Validation, factory, pretrain.Config{
+	pre, err := pretrain.Run(ctx, train, ds.Validation, factory, pretrain.Config{
 		Policy:            policyCfg,
 		PPO:               ppoCfg,
 		TotalSamples:      cfg.PretrainSamples,
@@ -145,7 +147,7 @@ func Figure5(cfg Fig5Config) (*Fig5Result, error) {
 			return nil, err
 		}
 		seed := cfg.Seed + int64(gi)*101
-		if err := runMethod(m, env, policyCfg, trialPPO, pre, cfg.SampleBudget, seed); err != nil {
+		if err := runMethod(ctx, m, env, policyCfg, trialPPO, pre, cfg.SampleBudget, seed); err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", m, g.Name(), err)
 		}
 		return env.History, nil
@@ -165,7 +167,7 @@ func Figure5(cfg Fig5Config) (*Fig5Result, error) {
 }
 
 // runMethod executes one strategy on one environment for the budget.
-func runMethod(m Method, env *rl.Env, policyCfg rl.Config, ppoCfg rl.PPOConfig, pre *pretrain.Result, budget int, seed int64) error {
+func runMethod(ctx context.Context, m Method, env *rl.Env, policyCfg rl.Config, ppoCfg rl.PPOConfig, pre *pretrain.Result, budget int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	// The RL methods drive the solver in SAMPLE mode: the policy's full
 	// distribution blends with the solver's completion weighting, which
@@ -175,29 +177,30 @@ func runMethod(m Method, env *rl.Env, policyCfg rl.Config, ppoCfg rl.PPOConfig, 
 	env.UseSampleMode = true
 	switch m {
 	case MethodRandom:
-		search.Random(env, budget, rng)
+		return search.Random(ctx, env, budget, rng)
 	case MethodSA:
-		search.Anneal(env, budget, search.SAConfig{}, rng)
+		return search.Anneal(ctx, env, budget, search.SAConfig{}, rng)
 	case MethodRL:
 		policy := rl.NewPolicy(policyCfg, rng)
 		trainer := rl.NewTrainer(policy, ppoCfg, rng)
-		trainer.TrainUntil([]*rl.Env{env}, budget)
+		_, err := trainer.TrainUntil(ctx, []*rl.Env{env}, budget)
+		return err
 	case MethodZeroshot:
 		policy := rl.NewPolicy(policyCfg, rng)
 		if err := policy.Restore(pre.Best()); err != nil {
 			return err
 		}
-		rl.ZeroShot(policy, env, budget, rng)
+		return rl.ZeroShot(ctx, policy, env, budget, rng)
 	case MethodFinetuning:
 		policy := rl.NewPolicy(policyCfg, rng)
 		if err := policy.Restore(pre.Best()); err != nil {
 			return err
 		}
-		rl.FineTune(policy, env, ppoCfg, budget, rng)
+		_, err := rl.FineTune(ctx, policy, env, ppoCfg, budget, rng)
+		return err
 	default:
 		return fmt.Errorf("unknown method %q", m)
 	}
-	return nil
 }
 
 // Format prints the Figure 5 series at a few sample points plus the final

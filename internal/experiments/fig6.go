@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,7 +66,8 @@ type Fig6Result struct {
 // Figure6 reproduces the BERT evaluation: all five strategies search for
 // partitions of the 2138-node BERT graph with rewards measured on the
 // hardware simulator, normalized to the production greedy heuristic.
-func Figure6(cfg Fig6Config) (*Fig6Result, error) {
+// Cancelling ctx aborts the run and propagates ctx.Err().
+func Figure6(ctx context.Context, cfg Fig6Config) (*Fig6Result, error) {
 	cfg = cfg.withDefaults()
 	bert := workload.BERT()
 	ev := simEvaluator(cfg.Pkg, cfg.Seed)
@@ -73,7 +75,7 @@ func Figure6(cfg Fig6Config) (*Fig6Result, error) {
 	pre := cfg.Pretrained
 	policyCfg := cfg.PolicyCfg
 	if pre == nil {
-		f5, err := Figure5(Fig5Config{Scale: cfg.Scale, Seed: cfg.Seed, Pkg: cfg.Pkg, Workers: cfg.Workers})
+		f5, err := Figure5(ctx, Fig5Config{Scale: cfg.Scale, Seed: cfg.Seed, Pkg: cfg.Pkg, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: pre-training for Figure 6: %w", err)
 		}
@@ -103,7 +105,7 @@ func Figure6(cfg Fig6Config) (*Fig6Result, error) {
 			return nil, err
 		}
 		seed := cfg.Seed + int64(mi)*733
-		if err := runMethod(m, env, policyCfg, trialPPO, pre, cfg.SampleBudget, seed); err != nil {
+		if err := runMethod(ctx, m, env, policyCfg, trialPPO, pre, cfg.SampleBudget, seed); err != nil {
 			return nil, fmt.Errorf("experiments: %s on BERT: %w", m, err)
 		}
 		return env.History, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -86,7 +87,7 @@ type HeteroResult struct {
 // search and simulated annealing spend the evaluation budget, all through
 // the package-aware constraint machinery (per-chip capacity bounds on
 // heterogeneous packages, route-aware pricing on every topology).
-func HeteroSweep(cfg HeteroConfig) (*HeteroResult, error) {
+func HeteroSweep(ctx context.Context, cfg HeteroConfig) (*HeteroResult, error) {
 	cfg = cfg.withDefaults()
 	res := &HeteroResult{Cfg: cfg, Rows: make([]HeteroRow, len(cfg.Packages))}
 	errs := make([]error, len(cfg.Packages))
@@ -105,9 +106,9 @@ func HeteroSweep(cfg HeteroConfig) (*HeteroResult, error) {
 		}
 		ev := simEvaluator(pkg, cfg.Seed)
 		base := search.GreedyPackage(cfg.Graph, pkg)
-		baseTh, ok := ev.Evaluate(cfg.Graph, base)
-		row.GreedyThroughput = baseTh
-		row.GreedyValid = ok && baseTh > 0
+		bv := ev.Assess(cfg.Graph, base)
+		row.GreedyThroughput = bv.Throughput
+		row.GreedyValid = bv.Valid && bv.Throughput > 0
 		if !row.GreedyValid {
 			res.Rows[i] = row
 			return
@@ -123,9 +124,12 @@ func HeteroSweep(cfg HeteroConfig) (*HeteroResult, error) {
 			}
 			rng := parallel.Rng(cfg.Seed, i)
 			if m == "random" {
-				search.Random(env, cfg.Budget, rng)
+				errs[i] = search.Random(ctx, env, cfg.Budget, rng)
 			} else {
-				search.Anneal(env, cfg.Budget, search.SAConfig{}, rng)
+				errs[i] = search.Anneal(ctx, env, cfg.Budget, search.SAConfig{}, rng)
+			}
+			if errs[i] != nil {
+				return
 			}
 			*out = env.BestImprovement()
 		}

@@ -29,6 +29,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"mcmpart/internal/eval"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mcm"
 	"mcmpart/internal/partition"
@@ -107,6 +108,10 @@ type Simulator struct {
 	topo mcm.Topology
 	opts Options
 }
+
+// Simulator is one of the two evaluation environments of the paper's
+// pipeline.
+var _ eval.Evaluator = (*Simulator)(nil)
 
 // New returns a simulator of the package. It panics on a package whose
 // topology cannot be built; validate packages before simulating them.
@@ -290,6 +295,24 @@ func (s *Simulator) MeasureN(g *graph.Graph, p partition.Partition, runs int) (m
 func (s *Simulator) EvaluateThroughput(g *graph.Graph, p partition.Partition) (float64, bool) {
 	res := s.Measure(g, p, 0)
 	return res.Throughput, res.Valid
+}
+
+// Assess implements eval.Evaluator: one measured run (run 0, the same
+// deterministic noise EvaluateThroughput draws) condensed into the shared
+// verdict, with the peak fractional SRAM utilization across chips.
+func (s *Simulator) Assess(g *graph.Graph, p partition.Partition) eval.Verdict {
+	res := s.Measure(g, p, 0)
+	v := eval.Verdict{
+		Throughput: res.Throughput,
+		Valid:      res.Valid,
+		FailReason: res.FailReason,
+	}
+	for c, mem := range res.PeakMem {
+		if u := float64(mem) / float64(s.pkg.ChipSRAM(c)); u > v.Utilization {
+			v.Utilization = u
+		}
+	}
+	return v
 }
 
 // noiseSeed hashes the partition content, simulator seed and run index into

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testParams(t *testing.T) []*Param {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	l1 := NewLinear("fc1", 4, 3, rng)
+	l2 := NewLinear("fc2", 3, 2, rng)
+	return append(append([]*Param{}, l1.Params()...), l2.Params()...)
+}
+
+// TestSnapshotSaveLoadRestoreRoundTrip is the satellite's round-trip pin:
+// weights written to disk come back bit-identical through
+// Save -> LoadSnapshot -> Restore.
+func TestSnapshotSaveLoadRestoreRoundTrip(t *testing.T) {
+	params := testParams(t)
+	want := TakeSnapshot(params)
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble the live parameters, then restore from the loaded file.
+	for _, p := range params {
+		for i := range p.Value.Data {
+			p.Value.Data[i] = -1
+		}
+	}
+	if err := loaded.Restore(params); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range params {
+		for i, v := range p.Value.Data {
+			if math.Float64bits(v) != math.Float64bits(want[p.Name][i]) {
+				t.Fatalf("%s[%d]: %v != %v after round trip", p.Name, i, v, want[p.Name][i])
+			}
+		}
+	}
+}
+
+// TestRestoreErrorsNameTheParameter pins the hardening contract: every
+// shape mismatch names the offending parameter and the expected length.
+func TestRestoreErrorsNameTheParameter(t *testing.T) {
+	params := testParams(t)
+	snap := TakeSnapshot(params)
+
+	missing := TakeSnapshot(params)
+	delete(missing, "fc2.w")
+	if err := missing.Restore(params); err == nil || !strings.Contains(err.Error(), `"fc2.w"`) {
+		t.Fatalf("missing parameter: want error naming fc2.w, got %v", err)
+	}
+
+	short := TakeSnapshot(params)
+	short["fc1.w"] = short["fc1.w"][:3]
+	err := short.Restore(params)
+	if err == nil || !strings.Contains(err.Error(), `"fc1.w"`) || !strings.Contains(err.Error(), "want 12") {
+		t.Fatalf("wrong length: want error naming fc1.w and expected length 12, got %v", err)
+	}
+
+	extra := TakeSnapshot(params)
+	extra["ghost.w"] = []float64{1}
+	if err := extra.Restore(params); err == nil || !strings.Contains(err.Error(), `"ghost.w"`) {
+		t.Fatalf("unknown parameter: want error naming ghost.w, got %v", err)
+	}
+
+	// The baseline snapshot still restores cleanly.
+	if err := snap.Restore(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejectsNonFinite pins the corrupt-weights gate: NaN and Inf
+// weights are rejected with the parameter name and index.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := Snapshot{"fc1.w": {0, 1, bad, 3}}
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), `"fc1.w"`) || !strings.Contains(err.Error(), "index 2") {
+			t.Fatalf("non-finite %v: want error naming fc1.w index 2, got %v", bad, err)
+		}
+	}
+	if err := (Snapshot{"fc1.w": {0, 1, 2}}).Validate(); err != nil {
+		t.Fatalf("finite snapshot must validate: %v", err)
+	}
+	// Save refuses non-finite weights outright (JSON cannot carry them),
+	// so corrupt files cannot even be produced by this API.
+	if err := (Snapshot{"w": {math.NaN()}}).Save(filepath.Join(t.TempDir(), "nan.json")); err == nil {
+		t.Fatal("saving NaN weights should fail")
+	}
+}
+
+// TestLoadSnapshotRejectsCorruptFiles covers the file-level failure modes:
+// truncated JSON and wrong payload types.
+func TestLoadSnapshotRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json": `{"fc1.w": [1, 2`,
+		"wrongtype.json": `{"fc1.w": "not numbers"}`,
+		"overflow.json":  `{"fc1.w": [1e999]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshot(path); err == nil {
+			t.Fatalf("%s: corrupt snapshot should fail to load", name)
+		}
+	}
+	if _, err := LoadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -8,6 +8,7 @@
 package pretrain
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -46,6 +47,12 @@ type Config struct {
 	// fresh environments, and a seed derived from its index, so scores are
 	// identical at any worker count.
 	Workers int
+	// Progress, when set, is invoked after every absorbed training sample
+	// with the cumulative sample count across all training graphs and the
+	// absorbing graph's best-so-far improvement. It runs on the goroutine
+	// driving training (never concurrently); validation scoring does not
+	// report progress.
+	Progress func(samples int, bestImprovement float64)
 }
 
 // QuickConfig returns a laptop-scale pipeline configuration for a given
@@ -78,7 +85,15 @@ func (r *Result) Best() nn.Snapshot { return r.Checkpoints[r.BestIndex] }
 
 // Run executes the two-worker pipeline sequentially (training first, then
 // validation — determinism matters more than wall-clock overlap here).
-func Run(train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Result, error) {
+//
+// Cancelling or timing out ctx stops the pipeline at the next iteration
+// boundary and returns the best-so-far result together with ctx.Err(): the
+// checkpoints emitted so far plus a final snapshot of the current policy,
+// with BestIndex pointing at that most recent snapshot (validation scoring
+// is skipped — Scores stays nil — because the scoring budget itself was
+// cancelled). An uncancelled run is bit-identical to the pre-context
+// behavior.
+func Run(ctx context.Context, train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Result, error) {
 	if len(train) == 0 || len(validation) == 0 {
 		return nil, fmt.Errorf("pretrain: need training and validation graphs (%d/%d)", len(train), len(validation))
 	}
@@ -97,6 +112,17 @@ func Run(train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Res
 		}
 		envs[i] = env
 	}
+	if cfg.Progress != nil {
+		// One shared counter across the training environments; absorption
+		// is serial (deterministic episode order), so no locking needed.
+		var total int
+		for _, env := range envs {
+			env.OnSample = func(_ int, best float64) {
+				total++
+				cfg.Progress(total, best)
+			}
+		}
+	}
 
 	res := &Result{}
 	totalSamples := func() int {
@@ -112,6 +138,13 @@ func Run(train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Res
 	}
 	nextCheckpoint := interval
 	for totalSamples() < cfg.TotalSamples {
+		if err := ctx.Err(); err != nil {
+			// Best-so-far: close the checkpoint stream with the current
+			// weights and hand deployment the most recent snapshot.
+			res.Checkpoints = append(res.Checkpoints, policy.Snapshot())
+			res.BestIndex = len(res.Checkpoints) - 1
+			return res, err
+		}
 		res.TrainStats = append(res.TrainStats, trainer.Iterate(envs))
 		for totalSamples() >= nextCheckpoint && len(res.Checkpoints) < cfg.Checkpoints {
 			res.Checkpoints = append(res.Checkpoints, policy.Snapshot())
@@ -140,12 +173,20 @@ func Run(train, validation []*graph.Graph, factory EnvFactory, cfg Config) (*Res
 				if err != nil {
 					return 0, fmt.Errorf("pretrain: validation env for %s: %w", g.Name(), err)
 				}
-				rl.ZeroShot(scorer, env, cfg.ValidationSamples, vrng)
+				if err := rl.ZeroShot(ctx, scorer, env, cfg.ValidationSamples, vrng); err != nil {
+					return 0, err
+				}
 				score += env.BestImprovement()
 			}
 			return score / float64(len(validation)), nil
 		})
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled mid-validation: the checkpoints are intact, only
+			// their scores are not; fall back to the most recent snapshot.
+			res.BestIndex = len(res.Checkpoints) - 1
+			return res, ctx.Err()
+		}
 		return nil, err
 	}
 	res.Scores = scores

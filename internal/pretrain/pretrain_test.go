@@ -1,6 +1,7 @@
 package pretrain
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,7 +9,6 @@ import (
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
@@ -22,9 +22,8 @@ func tinyFactory(t *testing.T, pkg *mcm.Package) EnvFactory {
 		if err != nil {
 			return nil, err
 		}
-		eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-		baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
-		return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh), nil
+		baseTh, _ := model.Evaluate(g, search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+		return rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh), nil
 	}
 }
 
@@ -47,7 +46,7 @@ func TestRunEmitsCheckpointsAndPicksBest(t *testing.T) {
 	cfg.TotalSamples = 40
 	cfg.Checkpoints = 4
 	cfg.ValidationSamples = 3
-	res, err := Run(tinyGraphs(3), tinyGraphs(1), tinyFactory(t, pkg), cfg)
+	res, err := Run(context.Background(), tinyGraphs(3), tinyGraphs(1), tinyFactory(t, pkg), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +77,9 @@ func TestRunEmitsCheckpointsAndPicksBest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rl.ZeroShot(p, env, 4, rng)
+	if err := rl.ZeroShot(context.Background(), p, env, 4, rng); err != nil {
+		t.Fatal(err)
+	}
 	if env.Samples < 4 {
 		t.Fatal("zero-shot deployment did not consume its budget")
 	}
@@ -87,10 +88,10 @@ func TestRunEmitsCheckpointsAndPicksBest(t *testing.T) {
 func TestRunRejectsEmptySets(t *testing.T) {
 	pkg := mcm.Dev4()
 	cfg := QuickConfig(pkg.Chips)
-	if _, err := Run(nil, tinyGraphs(1), tinyFactory(t, pkg), cfg); err == nil {
+	if _, err := Run(context.Background(), nil, tinyGraphs(1), tinyFactory(t, pkg), cfg); err == nil {
 		t.Fatal("empty training set should fail")
 	}
-	if _, err := Run(tinyGraphs(1), nil, tinyFactory(t, pkg), cfg); err == nil {
+	if _, err := Run(context.Background(), tinyGraphs(1), nil, tinyFactory(t, pkg), cfg); err == nil {
 		t.Fatal("empty validation set should fail")
 	}
 }

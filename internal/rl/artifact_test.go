@@ -1,0 +1,135 @@
+package rl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcmpart/internal/mcm"
+)
+
+// TestArtifactRoundTripReproducesForward pins that a saved and re-loaded
+// policy computes bit-identical outputs.
+func TestArtifactRoundTripReproducesForward(t *testing.T) {
+	pkg := mcm.Dev4()
+	rng := rand.New(rand.NewSource(3))
+	policy := NewPolicy(QuickConfig(pkg.Chips), rng)
+	env := testEnv(t, pkg.Chips)
+	prev := unassigned(env.Ctx.G.NumNodes())
+	want := policy.Forward(env.Ctx, prev).Probs.Clone()
+
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := SaveArtifact(path, policy, pkg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != policy.Cfg {
+		t.Fatalf("loaded config %+v != saved %+v", loaded.Cfg, policy.Cfg)
+	}
+	got := loaded.Forward(env.Ctx, prev).Probs
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("loaded policy's forward pass differs from the saved policy's")
+		}
+	}
+}
+
+// TestArtifactFingerprintCoversEveryField checks that changing any hardware
+// parameter of the package changes the fingerprint.
+func TestArtifactFingerprintCoversEveryField(t *testing.T) {
+	base := PackageFingerprint(mcm.Dev8())
+	mutations := map[string]func(p *mcm.Package){
+		"chips":     func(p *mcm.Package) { p.Chips = 7 },
+		"sram":      func(p *mcm.Package) { p.SRAMBytes++ },
+		"flops":     func(p *mcm.Package) { p.PeakFLOPs++ },
+		"bandwidth": func(p *mcm.Package) { p.LinkBandwidth++ },
+		"latency":   func(p *mcm.Package) { p.LinkLatency += 1e-9 },
+		"topology":  func(p *mcm.Package) { p.Topology = mcm.TopoBiRing },
+		"per-chip":  func(p *mcm.Package) { p.ChipSRAMBytes = []int64{1, 1, 1, 1, 1, 1, 1, 1} },
+	}
+	for name, mutate := range mutations {
+		p := mcm.Dev8()
+		mutate(p)
+		if PackageFingerprint(p) == base {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+	if PackageFingerprint(mcm.Dev8()) != base {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+// TestLoadArtifactRejections walks the load-time gates: version, package
+// fingerprint, chip count, shape, and weight corruption.
+func TestLoadArtifactRejections(t *testing.T) {
+	pkg := mcm.Dev4()
+	rng := rand.New(rand.NewSource(4))
+	policy := NewPolicy(QuickConfig(pkg.Chips), rng)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := SaveArtifact(path, policy, pkg); err != nil {
+		t.Fatal(err)
+	}
+	read := func() Artifact {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a Artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	write := func(name string, a Artifact) string {
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	wrongVersion := read()
+	wrongVersion.Version = 99
+	if _, err := LoadArtifact(write("v.json", wrongVersion), pkg); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version gate: %v", err)
+	}
+
+	if _, err := LoadArtifact(path, mcm.Dev8()); err == nil || !strings.Contains(err.Error(), "dev8") {
+		t.Fatalf("fingerprint gate should name the planner's package: %v", err)
+	}
+
+	// Chip-count gate fires even if someone forges a matching fingerprint.
+	forged := read()
+	forged.Config.Chips = 9
+	if _, err := LoadArtifact(write("c.json", forged), pkg); err == nil || !strings.Contains(err.Error(), "9-chip") {
+		t.Fatalf("chip gate: %v", err)
+	}
+
+	badShape := read()
+	badShape.Config.Hidden = 0
+	if _, err := LoadArtifact(write("s.json", badShape), pkg); err == nil || !strings.Contains(err.Error(), "network shape") {
+		t.Fatalf("shape gate: %v", err)
+	}
+
+	truncated := read()
+	for name, vals := range truncated.Snapshot {
+		if len(vals) > 1 {
+			truncated.Snapshot[name] = vals[:1]
+			break
+		}
+	}
+	if _, err := LoadArtifact(write("t.json", truncated), pkg); err == nil {
+		t.Fatal("truncated snapshot should fail to load")
+	}
+}

@@ -1,16 +1,28 @@
 package rl
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+)
 
 // ZeroShot deploys a (pre-trained) policy on an environment without any
 // weight updates — the paper's "RL Zeroshot" configuration: run T-step
 // refinement episodes, handing each sampled assignment to the solver, until
 // the evaluation budget is consumed. The environment's History records the
 // best-so-far curve.
-func ZeroShot(policy *Policy, env *Env, budget int, rng *rand.Rand) {
+//
+// Cancelling ctx stops the loop before the next sample and returns
+// ctx.Err(); the environment keeps its best-so-far trajectory.
+func ZeroShot(ctx context.Context, policy *Policy, env *Env, budget int, rng *rand.Rand) error {
 	for env.Samples < budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		prev := unassigned(env.Ctx.G.NumNodes())
 		for step := 0; step < policy.Cfg.Iterations && env.Samples < budget; step++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f := policy.Forward(env.Ctx, prev)
 			if env.UseSampleMode {
 				env.StepProbs(MixedProbRows(f.Probs, env.ExploreEps()), rng)
@@ -22,12 +34,15 @@ func ZeroShot(policy *Policy, env *Env, budget int, rng *rand.Rand) {
 			}
 		}
 	}
+	return nil
 }
 
 // FineTune continues PPO training of a (pre-trained) policy on a single
 // environment until the evaluation budget is consumed — the paper's
-// "RL Finetuning" configuration.
-func FineTune(policy *Policy, env *Env, cfg PPOConfig, budget int, rng *rand.Rand) []IterationStats {
+// "RL Finetuning" configuration. Cancellation follows TrainUntil's
+// contract: stats so far plus ctx.Err(), best-so-far kept on the
+// environment.
+func FineTune(ctx context.Context, policy *Policy, env *Env, cfg PPOConfig, budget int, rng *rand.Rand) ([]IterationStats, error) {
 	trainer := NewTrainer(policy, cfg, rng)
-	return trainer.TrainUntil([]*Env{env}, budget)
+	return trainer.TrainUntil(ctx, []*Env{env}, budget)
 }

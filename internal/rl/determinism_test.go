@@ -1,6 +1,7 @@
 package rl_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -8,7 +9,6 @@ import (
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
@@ -25,9 +25,8 @@ func detEnv(t testing.TB, useSample bool) *rl.Env {
 		t.Fatal(err)
 	}
 	model := costmodel.New(pkg)
-	eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-	baseTh, _ := eval(search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
-	env := rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	baseTh, _ := model.Evaluate(g, search.Greedy(g, pkg.Chips, pkg.SRAMBytes))
+	env := rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh)
 	env.UseSampleMode = useSample
 	env.PartFactory = func() (cpsolver.Partitioner, error) {
 		return cpsolver.NewAuto(g, pkg.Chips, cpsolver.Options{})
@@ -44,7 +43,9 @@ func trainAt(t testing.TB, workers int, useSample bool) ([]float64, map[string][
 	cfg.Workers = workers
 	policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
 	trainer := rl.NewTrainer(policy, cfg, rng)
-	trainer.TrainUntil([]*rl.Env{env}, 64)
+	if _, err := trainer.TrainUntil(context.Background(), []*rl.Env{env}, 64); err != nil {
+		t.Fatal(err)
+	}
 	return env.History, policy.Snapshot()
 }
 
@@ -84,7 +85,9 @@ func TestPPOSerialFallbackWithoutFactory(t *testing.T) {
 		cfg := rl.QuickPPOConfig()
 		cfg.Workers = 8
 		policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
-		rl.NewTrainer(policy, cfg, rng).TrainUntil([]*rl.Env{env}, 32)
+		if _, err := rl.NewTrainer(policy, cfg, rng).TrainUntil(context.Background(), []*rl.Env{env}, 32); err != nil {
+			t.Fatal(err)
+		}
 		return env.History
 	}
 	with, without := run(false), run(true)
@@ -106,7 +109,9 @@ func TestNoSolverSampleModeParallel(t *testing.T) {
 		cfg := rl.QuickPPOConfig()
 		cfg.Workers = workers
 		policy := rl.NewPolicy(rl.QuickConfig(env.Part.Chips()), rng)
-		rl.NewTrainer(policy, cfg, rng).TrainUntil([]*rl.Env{env}, 32)
+		if _, err := rl.NewTrainer(policy, cfg, rng).TrainUntil(context.Background(), []*rl.Env{env}, 32); err != nil {
+			t.Fatal(err)
+		}
 		return env.History
 	}
 	if h1, h8 := run(1), run(8); !reflect.DeepEqual(h1, h8) {

@@ -5,22 +5,28 @@ import (
 	"math/rand"
 
 	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/eval"
 	"mcmpart/internal/partition"
 )
 
-// EvalFunc measures a partition's throughput and whether it passed the
-// dynamic constraints (the analytical model in pre-training, the hardware
-// simulator in deployment). Invalid partitions must report throughput 0.
-type EvalFunc func(p partition.Partition) (throughput float64, valid bool)
+// solverRejected is the verdict recorded for samples the constraint solver
+// (or the raw-action validity check of the no-solver baseline) rejected
+// before they ever reached an evaluation environment.
+var solverRejected = eval.Verdict{FailReason: "no valid partition produced"}
 
 // Env is the partitioning environment of Figure 1: it turns policy outputs
-// into valid partitions through the constraint solver, evaluates them, and
-// tracks the search trajectory (best partition and the best-so-far curve per
-// evaluated sample that the experiment figures plot).
+// into valid partitions through the constraint solver, evaluates them in an
+// evaluation environment (the analytical cost model in pre-training, the
+// hardware simulator in deployment), and tracks the search trajectory (best
+// partition and the best-so-far curve per evaluated sample that the
+// experiment figures plot).
 type Env struct {
 	Ctx  *GraphContext
 	Part cpsolver.Partitioner
-	Eval EvalFunc
+	// Eval is the evaluation environment. It must be safe for concurrent
+	// use (the cost model and hardware simulator are): rollout collection
+	// evaluates samples on worker goroutines.
+	Eval eval.Evaluator
 	// Baseline is the throughput of the compiler heuristic the experiments
 	// normalize against; rewards are improvement ratios over it.
 	Baseline float64
@@ -40,6 +46,14 @@ type Env struct {
 	// whenever a factory is set (the cost model and hardware simulator are).
 	PartFactory func() (cpsolver.Partitioner, error)
 
+	// OnSample, when set, is invoked after every absorbed sample with the
+	// cumulative sample count and the best-so-far improvement ratio — the
+	// progress stream the public Planner API exposes. It always runs on
+	// the goroutine driving the search (parallel rollout collection
+	// absorbs its outcomes serially, in episode order), so implementations
+	// need no locking of their own.
+	OnSample func(samples int, bestImprovement float64)
+
 	// Samples counts evaluations consumed (the x-axis of Figures 5 and 6).
 	Samples int
 	// Best tracks the best valid partition found and its throughput.
@@ -50,6 +64,10 @@ type Env struct {
 	History []float64
 	// ValidSamples counts samples that passed all constraints.
 	ValidSamples int
+	// FailCounts tallies the FailReasons of rejected samples — the
+	// observability the rich evaluation verdict buys (nil until the first
+	// failure).
+	FailCounts map[string]int
 
 	// exploreEps is the adaptive uniform-mixing weight for policy
 	// distributions: it escalates while samples earn zero reward (a
@@ -60,11 +78,11 @@ type Env struct {
 
 // NewEnv builds an environment; baseline must be the heuristic throughput
 // used for reward normalization (> 0).
-func NewEnv(ctx *GraphContext, part cpsolver.Partitioner, eval EvalFunc, baseline float64) *Env {
+func NewEnv(ctx *GraphContext, part cpsolver.Partitioner, ev eval.Evaluator, baseline float64) *Env {
 	if baseline <= 0 {
 		panic("rl: non-positive baseline throughput")
 	}
-	return &Env{Ctx: ctx, Part: part, Eval: eval, Baseline: baseline, exploreEps: exploreFloor}
+	return &Env{Ctx: ctx, Part: part, Eval: ev, Baseline: baseline, exploreEps: exploreFloor}
 }
 
 // Exploration mixing bounds.
@@ -83,16 +101,12 @@ func (e *Env) ExploreEps() float64 {
 
 // step evaluates a corrected partition, updating the search trajectory, and
 // returns the reward (improvement ratio over the baseline, 0 when invalid).
-func (e *Env) step(p partition.Partition, valid bool) float64 {
-	th := 0.0
-	if valid {
-		var ok bool
-		th, ok = e.Eval(p)
-		if !ok {
-			th = 0
-		}
+func (e *Env) step(p partition.Partition, solved bool) float64 {
+	v := solverRejected
+	if solved {
+		v = e.Eval.Assess(e.Ctx.G, p)
 	}
-	return e.absorb(p, th)
+	return e.absorb(p, v)
 }
 
 // absorb records one already-evaluated sample into the trajectory and
@@ -100,7 +114,17 @@ func (e *Env) step(p partition.Partition, valid bool) float64 {
 // worker goroutines and then absorbs them here in deterministic episode
 // order, so the trajectory (Samples, Best, History, exploration weight) is
 // identical to a serial run.
-func (e *Env) absorb(p partition.Partition, th float64) float64 {
+func (e *Env) absorb(p partition.Partition, v eval.Verdict) float64 {
+	th := v.Throughput
+	if !v.Valid {
+		th = 0
+		if v.FailReason != "" {
+			if e.FailCounts == nil {
+				e.FailCounts = make(map[string]int)
+			}
+			e.FailCounts[v.FailReason]++
+		}
+	}
 	e.Samples++
 	if th > 0 {
 		e.ValidSamples++
@@ -111,6 +135,9 @@ func (e *Env) absorb(p partition.Partition, th float64) float64 {
 	}
 	e.History = append(e.History, e.BestThroughput/e.Baseline)
 	e.exploreEps = nextExploreEps(e.ExploreEps(), th)
+	if e.OnSample != nil {
+		e.OnSample(e.Samples, e.BestThroughput/e.Baseline)
+	}
 	return th / e.Baseline
 }
 
@@ -161,5 +188,6 @@ func (e *Env) Reset() {
 	e.Best = nil
 	e.BestThroughput = 0
 	e.History = nil
+	e.FailCounts = nil
 	e.exploreEps = exploreFloor
 }

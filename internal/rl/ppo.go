@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -97,7 +98,7 @@ func (t *Trainer) Iterate(envs []*Env) IterationStats {
 	for r := range results {
 		env := envs[r%len(envs)]
 		for _, s := range results[r].steps {
-			env.absorb(s.p, s.th)
+			env.absorb(s.p, s.v)
 		}
 		buf = append(buf, results[r].transitions...)
 	}
@@ -214,10 +215,19 @@ func indicator(b bool) float64 {
 // environment has consumed at least sampleBudget evaluations, returning the
 // per-iteration stats. This is the "RL" configuration of the experiments:
 // training from scratch against an evaluation budget.
-func (t *Trainer) TrainUntil(envs []*Env, sampleBudget int) []IterationStats {
+//
+// Cancelling or timing out ctx stops the loop at the next iteration
+// boundary and returns the stats so far together with ctx.Err(); the
+// environments keep their best-so-far trajectory. The check sits between
+// iterations, not inside one, so cancellation never tears a PPO batch —
+// uncancelled runs are bit-identical to the pre-context behavior.
+func (t *Trainer) TrainUntil(ctx context.Context, envs []*Env, sampleBudget int) ([]IterationStats, error) {
 	var all []IterationStats
 	for envs[0].Samples < sampleBudget {
+		if err := ctx.Err(); err != nil {
+			return all, err
+		}
 		all = append(all, t.Iterate(envs))
 	}
-	return all
+	return all, nil
 }

@@ -1,11 +1,13 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/eval"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mat"
 	"mcmpart/internal/mcm"
@@ -23,13 +25,13 @@ func testEnv(t *testing.T, chips int) *Env {
 	}
 	pkg := mcm.Dev4()
 	pkg.Chips = chips
-	eval := func(p partition.Partition) (float64, bool) {
+	ev := eval.Func(func(_ *graph.Graph, p partition.Partition) eval.Verdict {
 		// Reward balance directly: throughput proxy = 1/imbalance.
-		return 1 / p.Imbalance(g), true
-	}
-	base, _ := eval(make(partition.Partition, g.NumNodes()))
+		return eval.Verdict{Throughput: 1 / p.Imbalance(g), Valid: true}
+	})
+	base := ev.Assess(g, make(partition.Partition, g.NumNodes())).Throughput
 	ctx := NewGraphContext(g)
-	return NewEnv(ctx, pr, eval, base/2) // baseline below single-chip
+	return NewEnv(ctx, pr, ev, base/2) // baseline below single-chip
 }
 
 func TestPolicyForwardShapes(t *testing.T) {
@@ -240,7 +242,9 @@ func TestTrainUntilRespectsBudget(t *testing.T) {
 	cfg.Rollouts = 4
 	cfg.Epochs = 1
 	trainer := NewTrainer(policy, cfg, rng)
-	trainer.TrainUntil([]*Env{env}, 10)
+	if _, err := trainer.TrainUntil(context.Background(), []*Env{env}, 10); err != nil {
+		t.Fatal(err)
+	}
 	if env.Samples < 10 {
 		t.Fatalf("budget not reached: %d", env.Samples)
 	}

@@ -4,17 +4,18 @@ import (
 	"math/rand"
 
 	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/eval"
 	"mcmpart/internal/parallel"
 	"mcmpart/internal/partition"
 )
 
 // stepOutcome is one evaluated environment sample produced on a rollout
 // worker: the corrected partition (nil when the solve failed or the raw
-// sample was invalid) and its measured throughput. Outcomes are absorbed
+// sample was invalid) and its evaluation verdict. Outcomes are absorbed
 // into the environment in deterministic episode order after collection.
 type stepOutcome struct {
-	p  partition.Partition
-	th float64
+	p partition.Partition
+	v eval.Verdict
 }
 
 // episodeResult is everything one T-step episode contributes to the PPO
@@ -116,7 +117,7 @@ func runEpisode(pol *Policy, env *Env, part cpsolver.Partitioner, eps float64, r
 		f := pol.Forward(env.Ctx, prev)
 		var y []int
 		var logp float64
-		var out stepOutcome
+		out := stepOutcome{v: solverRejected}
 		if env.UseSampleMode {
 			// Algorithm 1: the solver samples from P; credit the emitted
 			// partition as the action.
@@ -150,8 +151,12 @@ func runEpisode(pol *Policy, env *Env, part cpsolver.Partitioner, eps float64, r
 			value:  f.Value,
 		})
 		res.steps = append(res.steps, out)
-		rewards = append(rewards, out.th/env.Baseline)
-		eps = nextExploreEps(eps, out.th)
+		th := out.v.Throughput
+		if !out.v.Valid {
+			th = 0
+		}
+		rewards = append(rewards, th/env.Baseline)
+		eps = nextExploreEps(eps, th)
 		prev = y
 	}
 	// Reward-to-go with gamma = 1 across the T refinement steps.
@@ -166,9 +171,5 @@ func runEpisode(pol *Policy, env *Env, part cpsolver.Partitioner, eps float64, r
 // evaluate measures a partition with the environment's evaluator (safe for
 // concurrent use) and packages the outcome.
 func evaluate(env *Env, p partition.Partition) stepOutcome {
-	th, ok := env.Eval(p)
-	if !ok {
-		th = 0
-	}
-	return stepOutcome{p: p, th: th}
+	return stepOutcome{p: p, v: env.Eval.Assess(env.Ctx.G, p)}
 }

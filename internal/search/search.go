@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -17,11 +18,16 @@ import (
 // Random is the paper's Random search strategy: a fixed uniform probability
 // distribution handed to the constraint solver's SAMPLE mode, best-of-budget
 // (each iteration consumes one evaluation). Progress is recorded in the
-// environment's History.
-func Random(env *rl.Env, budget int, rng *rand.Rand) {
+// environment's History. Cancelling ctx stops before the next sample and
+// returns ctx.Err(); the environment keeps its best-so-far trajectory.
+func Random(ctx context.Context, env *rl.Env, budget int, rng *rand.Rand) error {
 	for env.Samples < budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		env.StepProbs(nil, rng)
 	}
+	return nil
 }
 
 // SAConfig tunes simulated annealing. Zero values take defaults (tuned
@@ -54,13 +60,17 @@ func (c SAConfig) withDefaults() SAConfig {
 // each iteration re-randomizes the distribution rows of a random subset of
 // nodes, generates a valid partition through the solver's SAMPLE mode,
 // evaluates it, and accepts or rejects the new distribution by the
-// Metropolis rule.
-func Anneal(env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) {
+// Metropolis rule. Cancelling ctx stops before the next sample and returns
+// ctx.Err(); the environment keeps its best-so-far trajectory.
+func Anneal(ctx context.Context, env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) error {
 	// The seeding evaluation below consumes one sample; without this guard
 	// a zero (or already exhausted) budget would still burn it and overrun
 	// the evaluation budget the figures' x-axes are measured in.
 	if env.Samples >= budget {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	cfg = cfg.withDefaults()
 	n := env.Ctx.G.NumNodes()
@@ -85,6 +95,9 @@ func Anneal(env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) {
 		proposal[i] = pflat[i*c : (i+1)*c]
 	}
 	for env.Samples < budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		copy(pflat, flat)
 		for i := 0; i < k; i++ {
 			row := proposal[rng.Intn(n)]
@@ -104,6 +117,7 @@ func Anneal(env *rl.Env, budget int, cfg SAConfig, rng *rand.Rand) {
 		}
 		temp *= cfg.Cooling
 	}
+	return nil
 }
 
 // Greedy is the production compiler's O(N) heuristic the paper normalizes

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,7 +9,6 @@ import (
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mcm"
-	"mcmpart/internal/partition"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/workload"
 )
@@ -20,13 +20,12 @@ func modelEnv(t *testing.T, g *graph.Graph, pkg *mcm.Package) *rl.Env {
 		t.Fatal(err)
 	}
 	model := costmodel.New(pkg)
-	eval := func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
 	base := Greedy(g, pkg.Chips, pkg.SRAMBytes)
-	baseTh, _ := eval(base)
+	baseTh, _ := model.Evaluate(g, base)
 	if baseTh <= 0 {
 		t.Fatal("greedy baseline has zero throughput")
 	}
-	return rl.NewEnv(rl.NewGraphContext(g), pr, eval, baseTh)
+	return rl.NewEnv(rl.NewGraphContext(g), pr, model, baseTh)
 }
 
 func TestGreedyProducesValidPartitions(t *testing.T) {
@@ -74,7 +73,9 @@ func TestRandomSearchImproves(t *testing.T) {
 	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 8, Input: 512, Hidden: 1024, Output: 128, Batch: 32})
 	env := modelEnv(t, g, mcm.Dev8())
 	rng := rand.New(rand.NewSource(1))
-	Random(env, 40, rng)
+	if err := Random(context.Background(), env, 40, rng); err != nil {
+		t.Fatal(err)
+	}
 	if env.Samples != 40 {
 		t.Fatalf("samples = %d, want 40", env.Samples)
 	}
@@ -92,7 +93,9 @@ func TestAnnealImprovesAndRespectsBudget(t *testing.T) {
 	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 8, Input: 512, Hidden: 1024, Output: 128, Batch: 32})
 	env := modelEnv(t, g, mcm.Dev8())
 	rng := rand.New(rand.NewSource(2))
-	Anneal(env, 40, SAConfig{}, rng)
+	if err := Anneal(context.Background(), env, 40, SAConfig{}, rng); err != nil {
+		t.Fatal(err)
+	}
 	if env.Samples < 40 {
 		t.Fatalf("samples = %d, want >= 40", env.Samples)
 	}
@@ -107,9 +110,10 @@ func TestAnnealImprovesAndRespectsBudget(t *testing.T) {
 // check) and budget 1 exactly one.
 func TestBudgetNeverOverrun(t *testing.T) {
 	g := workload.MLP(workload.MLPConfig{Name: "m", Layers: 6, Input: 128, Hidden: 256, Output: 64, Batch: 8})
+	ctx := context.Background()
 	strategies := map[string]func(env *rl.Env, budget int, rng *rand.Rand){
-		"random": Random,
-		"anneal": func(env *rl.Env, budget int, rng *rand.Rand) { Anneal(env, budget, SAConfig{}, rng) },
+		"random": func(env *rl.Env, budget int, rng *rand.Rand) { Random(ctx, env, budget, rng) },
+		"anneal": func(env *rl.Env, budget int, rng *rand.Rand) { Anneal(ctx, env, budget, SAConfig{}, rng) },
 	}
 	for name, run := range strategies {
 		for _, budget := range []int{0, 1, 2, 7} {
@@ -180,7 +184,9 @@ func TestSearchBeatsGreedyOnImbalancedGraph(t *testing.T) {
 	}())
 	env := modelEnv(t, g, mcm.Dev8())
 	rng := rand.New(rand.NewSource(3))
-	Random(env, 60, rng)
+	if err := Random(context.Background(), env, 60, rng); err != nil {
+		t.Fatal(err)
+	}
 	if env.BestImprovement() <= 1.0 {
 		t.Fatalf("random search (%.3fx) should beat the greedy baseline", env.BestImprovement())
 	}

@@ -6,33 +6,35 @@
 // The package is the public facade over the building blocks in internal/:
 // computation graphs, MCM package descriptors, the constraint solver, the
 // analytical cost model and hardware simulator, the search baselines, and
-// the constrained-RL partitioner with its pre-training pipeline. The one
-// call most users need is PartitionGraph:
+// the constrained-RL partitioner with its pre-training pipeline.
 //
-//	g := mcmpart.BERT()
-//	pkg := mcmpart.Edge36()
-//	res, err := mcmpart.PartitionGraph(g, pkg, mcmpart.Options{
-//		Method:       mcmpart.MethodRL,
+// The primary entry point is the Planner, a reusable planning session bound
+// to one package. It makes the paper's headline result — pre-train once,
+// deploy zero-shot or with fine-tuning on unseen graphs — the public
+// surface:
+//
+//	pl, err := mcmpart.NewPlanner(mcmpart.Edge36())
+//	pl.Pretrain(ctx, mcmpart.CorpusGraphs(1)[:12], mcmpart.PretrainOptions{})
+//	pl.SavePolicy("edge36.policy.json") // reusable, fingerprint-validated
+//	res, err := pl.Plan(ctx, mcmpart.BERT(), mcmpart.PlanOptions{
+//		Method:       mcmpart.MethodZeroShot,
 //		SampleBudget: 200,
 //	})
 //	fmt.Println(res.Partition, res.Throughput)
 //
+// PartitionGraph remains as a deprecated one-shot wrapper over the Planner.
 // See DESIGN.md for the system inventory, deviations, and reproduction
 // notes; cmd/mcmexp regenerates every table and figure of the paper.
 package mcmpart
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 
 	"mcmpart/internal/costmodel"
-	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/graph"
 	"mcmpart/internal/hwsim"
 	"mcmpart/internal/mcm"
 	"mcmpart/internal/partition"
-	"mcmpart/internal/rl"
-	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
 )
 
@@ -91,7 +93,8 @@ func BERT() *Graph { return workload.BERT() }
 // CorpusGraphs generates the 87-model synthetic corpus.
 func CorpusGraphs(seed int64) []*Graph { return workload.CorpusGraphs(seed) }
 
-// Method selects a partitioning strategy for PartitionGraph.
+// Method selects a partitioning strategy for Planner.Plan (and the
+// deprecated PartitionGraph).
 type Method string
 
 // Available strategies.
@@ -104,16 +107,27 @@ const (
 	MethodSA Method = "sa"
 	// MethodRL trains the constrained-RL partitioner from scratch.
 	MethodRL Method = "rl"
+	// MethodZeroShot deploys the planner's pre-trained policy with no
+	// weight updates — the paper's "RL Zeroshot" configuration. Requires
+	// Planner.Pretrain or Planner.LoadPolicy first.
+	MethodZeroShot Method = "zeroshot"
+	// MethodFineTune continues PPO training of the planner's pre-trained
+	// policy on the target graph — the paper's "RL Finetuning"
+	// configuration. Requires Planner.Pretrain or Planner.LoadPolicy
+	// first.
+	MethodFineTune Method = "finetune"
 )
 
-// Options configure PartitionGraph.
+// Options configure the deprecated PartitionGraph. New code uses
+// PlanOptions with a Planner.
 type Options struct {
 	// Method defaults to MethodRL.
 	Method Method
 	// SampleBudget bounds the number of candidate evaluations for the
 	// search-based methods (default 200; ignored by MethodGreedy).
 	SampleBudget int
-	// Seed makes runs reproducible (default 1).
+	// Seed makes runs reproducible. Seed 0 is remapped to 1 (the
+	// documented default).
 	Seed int64
 	// UseSimulator evaluates candidates on the hardware simulator
 	// (including the dynamic memory constraint) instead of the faster
@@ -121,7 +135,7 @@ type Options struct {
 	UseSimulator bool
 }
 
-// Result is the outcome of PartitionGraph.
+// Result is the outcome of a plan.
 type Result struct {
 	// Partition is the best valid partition found.
 	Partition Partition
@@ -131,88 +145,59 @@ type Result struct {
 	Improvement float64
 	// Samples is the number of evaluations consumed.
 	Samples int
+	// History is the best-so-far improvement ratio after every sample —
+	// the curve the paper's figures plot (History[Samples-1] ==
+	// Improvement).
+	History []float64
+	// FailCounts tallies rejected samples by failure reason (nil when
+	// every sample was valid).
+	FailCounts map[string]int
+}
+
+// SamplesToImprovement returns the number of samples the plan needed to
+// first reach the given improvement over the greedy baseline, and whether
+// it was reached at all — the "samples to quality" metric of the paper's
+// Tables 2 and 3.
+func (r *Result) SamplesToImprovement(threshold float64) (int, bool) {
+	for i, v := range r.History {
+		if v >= threshold {
+			return i + 1, true
+		}
+	}
+	return 0, false
 }
 
 // PartitionGraph searches for a high-throughput valid partition of g on the
 // package using the selected method.
+//
+// Deprecated: PartitionGraph builds a throwaway planning session per call,
+// so nothing — policy, package validation, solver setup — is reusable, and
+// the pre-trained methods (MethodZeroShot, MethodFineTune) are unavailable.
+// Use NewPlanner and Planner.Plan; this wrapper remains for compatibility
+// and produces bit-identical results for the four original methods.
 func PartitionGraph(g *Graph, pkg *Package, opts Options) (*Result, error) {
-	if err := pkg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.Method == "" {
-		opts.Method = MethodRL
-	}
-	if opts.SampleBudget <= 0 {
-		opts.SampleBudget = 200
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	var eval rl.EvalFunc
-	if opts.UseSimulator {
-		sim := hwsim.New(pkg, hwsim.Options{Seed: opts.Seed})
-		eval = func(p partition.Partition) (float64, bool) { return sim.EvaluateThroughput(g, p) }
-	} else {
-		model := costmodel.New(pkg)
-		eval = func(p partition.Partition) (float64, bool) { return model.Evaluate(g, p) }
-	}
-	greedy := search.GreedyPackage(g, pkg)
-	baseTh, ok := eval(greedy)
-	if !ok || baseTh <= 0 {
-		return nil, fmt.Errorf("mcmpart: greedy baseline is invalid on %s; the graph may not fit the package", g.Name())
-	}
-	if opts.Method == MethodGreedy {
-		return &Result{Partition: greedy, Throughput: baseTh, Improvement: 1, Samples: 1}, nil
-	}
-
-	pr, err := cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
+	pl, err := NewPlanner(pkg)
 	if err != nil {
 		return nil, err
 	}
-	// Heterogeneous packages expose per-chip capacities to the policy so
-	// it can learn which dies are big and which are little; homogeneous
-	// packages keep the paper's exact network shape.
-	ctx := rl.NewGraphContext(g)
-	policyCfg := rl.QuickConfig(pkg.Chips)
-	if pkg.Heterogeneous() {
-		ctx = rl.NewGraphContextForPackage(g, pkg)
-		policyCfg.ChipFeatures = true
-	}
-	env := rl.NewEnv(ctx, pr, eval, baseTh)
-	env.PartFactory = func() (cpsolver.Partitioner, error) {
-		return cpsolver.NewAutoPkg(g, pkg, cpsolver.Options{})
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	switch opts.Method {
-	case MethodRandom:
-		search.Random(env, opts.SampleBudget, rng)
-	case MethodSA:
-		search.Anneal(env, opts.SampleBudget, search.SAConfig{}, rng)
-	case MethodRL:
-		policy := rl.NewPolicy(policyCfg, rng)
-		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
-		trainer.TrainUntil([]*rl.Env{env}, opts.SampleBudget)
-	default:
-		return nil, fmt.Errorf("mcmpart: unknown method %q", opts.Method)
-	}
-	if env.Best == nil {
-		return nil, fmt.Errorf("mcmpart: no valid partition found within %d samples", env.Samples)
-	}
-	return &Result{
-		Partition:   env.Best,
-		Throughput:  env.BestThroughput,
-		Improvement: env.BestImprovement(),
-		Samples:     env.Samples,
-	}, nil
+	return pl.Plan(context.Background(), g, PlanOptions{
+		Method:       opts.Method,
+		SampleBudget: opts.SampleBudget,
+		Seed:         opts.Seed,
+		UseSimulator: opts.UseSimulator,
+	})
 }
 
 // Evaluate runs a partition on the hardware simulator, returning throughput,
-// per-resource utilization and the dynamic-constraint verdict.
+// per-resource utilization and the dynamic-constraint verdict. It uses
+// simulator seed 1 — the same value PlanOptions.Seed defaults to (Seed 0 is
+// remapped to 1) — so a plan run with default options and its Evaluate
+// check agree on the simulated hardware instance. Seeds only influence
+// measurement noise (Simulator.Measure), never the noise-free Evaluate
+// verdict, so this choice is about consistency, not numbers. Use
+// Planner.Assess to pick the environment and seed explicitly.
 func Evaluate(g *Graph, pkg *Package, p Partition) HardwareResult {
-	return hwsim.New(pkg, hwsim.Options{}).Evaluate(g, p)
+	return hwsim.New(pkg, hwsim.Options{Seed: 1}).Evaluate(g, p)
 }
 
 // EstimateThroughput runs the analytical cost model (no memory checking).

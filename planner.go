@@ -1,0 +1,432 @@
+package mcmpart
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/cpsolver"
+	"mcmpart/internal/eval"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/hwsim"
+	"mcmpart/internal/pretrain"
+	"mcmpart/internal/rl"
+	"mcmpart/internal/search"
+)
+
+// Verdict is the rich outcome of evaluating one partition in one evaluation
+// environment (throughput, validity, failure reason, peak SRAM utilization).
+// Both the analytical cost model and the hardware simulator report through
+// it.
+type Verdict = eval.Verdict
+
+// ProgressEvent is one observation of a running plan or pre-training run:
+// the cumulative number of candidate evaluations consumed and the
+// best-so-far improvement over the greedy baseline.
+type ProgressEvent struct {
+	// Samples is the number of evaluations consumed so far.
+	Samples int
+	// BestImprovement is the best-so-far throughput normalized to the
+	// greedy heuristic on the graph being reported.
+	BestImprovement float64
+}
+
+// ProgressFunc streams ProgressEvents. Callbacks run synchronously on the
+// goroutine driving the search; keep them fast.
+type ProgressFunc func(ProgressEvent)
+
+// PlanOptions configure one Planner.Plan call.
+type PlanOptions struct {
+	// Method defaults to MethodRL. MethodZeroShot and MethodFineTune
+	// require a policy (Pretrain or LoadPolicy first).
+	Method Method
+	// SampleBudget bounds the number of candidate evaluations for the
+	// search-based methods (default 200; ignored by MethodGreedy).
+	SampleBudget int
+	// Seed makes runs reproducible. Seed 0 is remapped to 1 (the
+	// documented default), so the zero value of PlanOptions and an
+	// explicit Seed: 1 are the same plan.
+	Seed int64
+	// UseSimulator evaluates candidates on the hardware simulator
+	// (including the dynamic memory constraint) instead of the faster
+	// analytical cost model.
+	UseSimulator bool
+	// Progress, when set, streams (samples, best-so-far improvement)
+	// after every evaluated candidate.
+	Progress ProgressFunc
+}
+
+// PretrainOptions configure Planner.Pretrain, the paper's Sec. 4.3
+// pipeline: PPO over a corpus of training graphs against the analytical
+// cost model, with a validation worker replaying checkpoints to pick the
+// transferable policy.
+type PretrainOptions struct {
+	// TotalSamples is the training budget summed over all training graphs
+	// (default 2000; paper: 20000).
+	TotalSamples int
+	// Checkpoints is how many evenly spaced checkpoints the training
+	// worker emits for the validation worker to score (default 10;
+	// paper: 200).
+	Checkpoints int
+	// ValidationSamples is the per-graph zero-shot budget spent scoring
+	// each checkpoint (default 8).
+	ValidationSamples int
+	// ValidationGraphs is how many graphs from the tail of the corpus
+	// slice are held out for validation (default: one fifth, at least 1).
+	ValidationGraphs int
+	// Seed derives all randomness. Seed 0 is remapped to 1.
+	Seed int64
+	// Workers bounds the validation fan-out and rollout collection
+	// (0 = process default). Results are identical at any worker count.
+	Workers int
+	// FullScale uses the paper's 8x128 network and PPO hyper-parameters
+	// instead of the laptop-scale defaults.
+	FullScale bool
+	// Progress, when set, streams (cumulative training samples,
+	// best-so-far improvement on the absorbing graph).
+	Progress ProgressFunc
+}
+
+// PretrainReport summarizes a Pretrain run.
+type PretrainReport struct {
+	// Checkpoints is how many checkpoints the training worker emitted.
+	Checkpoints int
+	// Scores are the validation rewards per checkpoint (nil when the run
+	// was cancelled before validation).
+	Scores []float64
+	// BestIndex is the checkpoint the validation worker selected — the
+	// policy now installed in the Planner.
+	BestIndex int
+	// TrainSamples is the number of training evaluations consumed.
+	TrainSamples int
+}
+
+// Planner is a reusable planning session bound to one MCM package — the
+// public surface of the paper's transferability result. Pre-train once on a
+// corpus (or load a saved policy artifact), then plan any number of graphs:
+// zero-shot, with fine-tuning, or with the from-scratch search methods.
+//
+//	pl, _ := mcmpart.NewPlanner(mcmpart.Dev8())
+//	pl.Pretrain(ctx, mcmpart.CorpusGraphs(1)[:10], mcmpart.PretrainOptions{})
+//	pl.SavePolicy("dev8.policy.json")
+//	res, _ := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodZeroShot})
+//
+// Plan and Assess may be called concurrently from multiple goroutines (each
+// call clones the installed policy); Pretrain, LoadPolicy, and SavePolicy
+// must not run concurrently with other methods.
+type Planner struct {
+	pkg    *Package
+	policy *rl.Policy
+	// ftPPO is the PPO configuration MethodFineTune continues training
+	// with; Pretrain keeps it aligned with the pre-training scale.
+	ftPPO rl.PPOConfig
+}
+
+// NewPlanner builds a planning session for the package. The package is
+// validated once here; every subsequent call reuses it.
+func NewPlanner(pkg *Package) (*Planner, error) {
+	if err := pkg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{pkg: pkg, ftPPO: rl.QuickPPOConfig()}, nil
+}
+
+// Package returns the package this planner is bound to.
+func (pl *Planner) Package() *Package { return pl.pkg }
+
+// HasPolicy reports whether a pre-trained policy is installed (via Pretrain
+// or LoadPolicy), enabling MethodZeroShot and MethodFineTune.
+func (pl *Planner) HasPolicy() bool { return pl.policy != nil }
+
+// freshPolicyConfig returns the network shape for a from-scratch policy on
+// this package: the paper's exact shape on homogeneous packages, widened
+// with per-chip capacity features on heterogeneous ones.
+func (pl *Planner) freshPolicyConfig(fullScale bool) rl.Config {
+	cfg := rl.QuickConfig(pl.pkg.Chips)
+	if fullScale {
+		cfg = rl.DefaultConfig(pl.pkg.Chips)
+	}
+	if pl.pkg.Heterogeneous() {
+		cfg.ChipFeatures = true
+	}
+	return cfg
+}
+
+// graphContext builds the encoder inputs a policy with cfg needs on this
+// package.
+func (pl *Planner) graphContext(g *Graph, cfg rl.Config) *rl.GraphContext {
+	if cfg.ChipFeatures {
+		return rl.NewGraphContextForPackage(g, pl.pkg)
+	}
+	return rl.NewGraphContext(g)
+}
+
+// evaluator returns the evaluation environment a plan runs against: the
+// hardware simulator (seeded — the same Seed 0 → 1 remap as PlanOptions)
+// or the analytical cost model.
+func (pl *Planner) evaluator(useSimulator bool, seed int64) eval.Evaluator {
+	if useSimulator {
+		if seed == 0 {
+			seed = 1
+		}
+		return hwsim.New(pl.pkg, hwsim.Options{Seed: seed})
+	}
+	return costmodel.New(pl.pkg)
+}
+
+// Assess evaluates one partition of g in the environment opts select
+// (simulator with opts.Seed when opts.UseSimulator, analytical cost model
+// otherwise) and returns the rich verdict.
+func (pl *Planner) Assess(g *Graph, p Partition, opts PlanOptions) Verdict {
+	return pl.evaluator(opts.UseSimulator, opts.Seed).Assess(g, p)
+}
+
+// baseline evaluates the greedy heuristic every search method normalizes
+// against, erroring (with the evaluator's reason) when it is invalid.
+func (pl *Planner) baseline(g *Graph, ev eval.Evaluator) (Partition, Verdict, error) {
+	greedy := search.GreedyPackage(g, pl.pkg)
+	base := ev.Assess(g, greedy)
+	if !base.Valid || base.Throughput <= 0 {
+		reason := ""
+		if base.FailReason != "" {
+			reason = " (" + base.FailReason + ")"
+		}
+		return nil, base, fmt.Errorf("mcmpart: greedy baseline is invalid on %s%s; the graph may not fit the package",
+			g.Name(), reason)
+	}
+	return greedy, base, nil
+}
+
+// buildEnv wires a graph to a partitioner, an evaluator, and the baseline
+// throughput — the environment every search method runs in.
+func (pl *Planner) buildEnv(g *Graph, gctx *rl.GraphContext, ev eval.Evaluator, baseTh float64) (*rl.Env, error) {
+	pr, err := cpsolver.NewAutoPkg(g, pl.pkg, cpsolver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	env := rl.NewEnv(gctx, pr, ev, baseTh)
+	env.PartFactory = func() (cpsolver.Partitioner, error) {
+		return cpsolver.NewAutoPkg(g, pl.pkg, cpsolver.Options{})
+	}
+	return env, nil
+}
+
+// newEnv is baseline + buildEnv: the factory shape Pretrain consumes.
+func (pl *Planner) newEnv(g *Graph, gctx *rl.GraphContext, ev eval.Evaluator) (*rl.Env, error) {
+	_, base, err := pl.baseline(g, ev)
+	if err != nil {
+		return nil, err
+	}
+	return pl.buildEnv(g, gctx, ev, base.Throughput)
+}
+
+// Plan searches for a high-throughput valid partition of g on the
+// planner's package.
+//
+// Cancelling or timing out ctx stops the search promptly; if any valid
+// partition was found by then, Plan returns it (best-so-far) together with
+// ctx.Err(), so callers can both observe the deadline and keep the work
+// already paid for.
+func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Method == "" {
+		opts.Method = MethodRL
+	}
+	if opts.SampleBudget <= 0 {
+		opts.SampleBudget = 200
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	ev := pl.evaluator(opts.UseSimulator, opts.Seed)
+
+	// The deployed-policy methods need the network shape the installed
+	// policy was trained with; the from-scratch methods always use the
+	// package's fresh shape, regardless of any loaded artifact — "scratch"
+	// must mean the same configuration on every planner.
+	policyCfg := pl.freshPolicyConfig(false)
+	usesPretrained := opts.Method == MethodZeroShot || opts.Method == MethodFineTune
+	if usesPretrained {
+		if pl.policy == nil {
+			return nil, fmt.Errorf("mcmpart: method %q needs a pre-trained policy: call Pretrain or LoadPolicy first", opts.Method)
+		}
+		policyCfg = pl.policy.Cfg
+	}
+
+	greedy, base, err := pl.baseline(g, ev)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Method == MethodGreedy {
+		if opts.Progress != nil {
+			opts.Progress(ProgressEvent{Samples: 1, BestImprovement: 1})
+		}
+		return &Result{Partition: greedy, Throughput: base.Throughput, Improvement: 1, Samples: 1, History: []float64{1}}, nil
+	}
+
+	env, err := pl.buildEnv(g, pl.graphContext(g, policyCfg), ev, base.Throughput)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Progress != nil {
+		progress := opts.Progress
+		env.OnSample = func(samples int, best float64) {
+			progress(ProgressEvent{Samples: samples, BestImprovement: best})
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var runErr error
+	switch opts.Method {
+	case MethodRandom:
+		runErr = search.Random(ctx, env, opts.SampleBudget, rng)
+	case MethodSA:
+		runErr = search.Anneal(ctx, env, opts.SampleBudget, search.SAConfig{}, rng)
+	case MethodRL:
+		policy := rl.NewPolicy(policyCfg, rng)
+		trainer := rl.NewTrainer(policy, rl.QuickPPOConfig(), rng)
+		_, runErr = trainer.TrainUntil(ctx, []*rl.Env{env}, opts.SampleBudget)
+	case MethodZeroShot:
+		// The deployed-policy methods drive the solver in SAMPLE mode,
+		// the configuration the policy was pre-trained under (Sec. 5.1's
+		// choice for the transfer experiments).
+		env.UseSampleMode = true
+		runErr = rl.ZeroShot(ctx, pl.policy.Clone(), env, opts.SampleBudget, rng)
+	case MethodFineTune:
+		env.UseSampleMode = true
+		// Fine-tuning updates weights; clone so the planner's installed
+		// policy stays the pristine pre-trained artifact for reuse.
+		_, runErr = rl.FineTune(ctx, pl.policy.Clone(), env, pl.ftPPO, opts.SampleBudget, rng)
+	default:
+		return nil, fmt.Errorf("mcmpart: unknown method %q", opts.Method)
+	}
+	if env.Best == nil {
+		if runErr != nil {
+			return nil, runErr
+		}
+		return nil, fmt.Errorf("mcmpart: no valid partition found within %d samples", env.Samples)
+	}
+	return &Result{
+		Partition:   env.Best,
+		Throughput:  env.BestThroughput,
+		Improvement: env.BestImprovement(),
+		Samples:     env.Samples,
+		History:     append([]float64(nil), env.History...),
+		FailCounts:  env.FailCounts,
+	}, runErr
+}
+
+// Pretrain runs the paper's pre-training pipeline (Sec. 4.3, Figure 4) on a
+// corpus of graphs against the analytical cost model and installs the
+// validation-selected policy in the planner, enabling MethodZeroShot and
+// MethodFineTune. The last opts.ValidationGraphs graphs of the slice are
+// held out for the validation worker; the rest train.
+//
+// Cancelling ctx stops training at the next iteration boundary and installs
+// the best-so-far policy (the most recent checkpoint), returning the report
+// together with ctx.Err().
+func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainOptions) (*PretrainReport, error) {
+	if opts.TotalSamples <= 0 {
+		opts.TotalSamples = 2000
+	}
+	if opts.Checkpoints <= 0 {
+		opts.Checkpoints = 10
+	}
+	if opts.ValidationSamples <= 0 {
+		opts.ValidationSamples = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.ValidationGraphs <= 0 {
+		opts.ValidationGraphs = len(graphs) / 5
+		if opts.ValidationGraphs < 1 {
+			opts.ValidationGraphs = 1
+		}
+	}
+	if len(graphs) < 2 || opts.ValidationGraphs >= len(graphs) {
+		return nil, fmt.Errorf("mcmpart: pre-training needs at least one training and one validation graph (%d graphs, %d held out)",
+			len(graphs), opts.ValidationGraphs)
+	}
+	train := graphs[:len(graphs)-opts.ValidationGraphs]
+	validation := graphs[len(graphs)-opts.ValidationGraphs:]
+
+	policyCfg := pl.freshPolicyConfig(opts.FullScale)
+	ppoCfg := rl.QuickPPOConfig()
+	if opts.FullScale {
+		ppoCfg = rl.DefaultPPOConfig()
+	}
+	ppoCfg.Workers = opts.Workers
+	model := costmodel.New(pl.pkg)
+	factory := func(g *graph.Graph) (*rl.Env, error) {
+		env, err := pl.newEnv(g, pl.graphContext(g, policyCfg), model)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-training drives the solver in SAMPLE mode (Algorithm 1),
+		// the experiments' configuration for the transfer methods.
+		env.UseSampleMode = true
+		return env, nil
+	}
+	cfg := pretrain.Config{
+		Policy:            policyCfg,
+		PPO:               ppoCfg,
+		TotalSamples:      opts.TotalSamples,
+		Checkpoints:       opts.Checkpoints,
+		ValidationSamples: opts.ValidationSamples,
+		Seed:              opts.Seed,
+		Workers:           opts.Workers,
+	}
+	if opts.Progress != nil {
+		progress := opts.Progress
+		cfg.Progress = func(samples int, best float64) {
+			progress(ProgressEvent{Samples: samples, BestImprovement: best})
+		}
+	}
+	res, err := pretrain.Run(ctx, train, validation, factory, cfg)
+	if res == nil {
+		return nil, err
+	}
+	policy := rl.NewPolicy(policyCfg, rand.New(rand.NewSource(opts.Seed)))
+	if rerr := policy.Restore(res.Best()); rerr != nil {
+		return nil, fmt.Errorf("mcmpart: restoring selected checkpoint: %w", rerr)
+	}
+	pl.policy = policy
+	if opts.FullScale {
+		pl.ftPPO = rl.DefaultPPOConfig()
+	}
+	report := &PretrainReport{
+		Checkpoints: len(res.Checkpoints),
+		Scores:      res.Scores,
+		BestIndex:   res.BestIndex,
+	}
+	for _, s := range res.TrainStats {
+		report.TrainSamples += s.Samples
+	}
+	return report, err
+}
+
+// SavePolicy persists the installed policy as a versioned artifact bound to
+// this planner's package (weights + network shape + package fingerprint).
+func (pl *Planner) SavePolicy(path string) error {
+	if pl.policy == nil {
+		return fmt.Errorf("mcmpart: planner has no policy to save; run Pretrain or LoadPolicy first")
+	}
+	return rl.SaveArtifact(path, pl.policy, pl.pkg)
+}
+
+// LoadPolicy installs a policy from an artifact written by SavePolicy. The
+// artifact's package fingerprint must match this planner's package — a
+// policy pre-trained for a different package (different chip count, SRAM,
+// topology, …) is rejected with a descriptive error rather than silently
+// driving plans it was never trained for.
+func (pl *Planner) LoadPolicy(path string) error {
+	policy, err := rl.LoadArtifact(path, pl.pkg)
+	if err != nil {
+		return err
+	}
+	pl.policy = policy
+	return nil
+}

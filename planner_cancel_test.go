@@ -1,0 +1,183 @@
+package mcmpart_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcmpart"
+)
+
+// TestPlanCancelReturnsBestSoFar pins the cancellation contract for every
+// cancellable method: cancelling mid-budget stops promptly, the plan
+// returns the best partition found so far, and the error is exactly
+// ctx.Err().
+func TestPlanCancelReturnsBestSoFar(t *testing.T) {
+	pl, corpus := pretrainedPlanner(t)
+	g := corpus[84]
+	const budget = 100000 // far more than the cancelled run may consume
+	for _, m := range []mcmpart.Method{
+		mcmpart.MethodRandom, mcmpart.MethodSA, mcmpart.MethodRL,
+		mcmpart.MethodZeroShot, mcmpart.MethodFineTune,
+	} {
+		t.Run(string(m), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const cancelAt = 20
+			var seen int
+			res, err := pl.Plan(ctx, g, mcmpart.PlanOptions{
+				Method:       m,
+				SampleBudget: budget,
+				Seed:         7,
+				Progress: func(ev mcmpart.ProgressEvent) {
+					seen = ev.Samples
+					if ev.Samples == cancelAt {
+						cancel()
+					}
+				},
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if res == nil {
+				t.Fatal("cancelled plan must return the best-so-far result")
+			}
+			// Promptness: the search may only finish work already in
+			// flight when the cancel lands (one PPO iteration at most for
+			// the training methods), never a meaningful slice of the
+			// remaining budget.
+			if res.Samples > cancelAt+64 {
+				t.Fatalf("consumed %d samples after cancel at %d", res.Samples, cancelAt)
+			}
+			if res.Samples != seen {
+				t.Fatalf("result reports %d samples, progress saw %d", res.Samples, seen)
+			}
+			if res.Partition == nil || res.Improvement <= 0 {
+				t.Fatalf("best-so-far result is empty: %+v", res)
+			}
+			if err := mcmpart.Validate(g, pl.Package(), res.Partition); err != nil {
+				t.Fatalf("best-so-far partition invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestPlanOnExpiredContext checks the degenerate case: a context that is
+// already done yields no samples and no result.
+func TestPlanOnExpiredContext(t *testing.T) {
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := pl.Plan(ctx, smallGraph(t), mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 50})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatalf("no samples ran, result should be nil, got %+v", res)
+	}
+}
+
+// TestPlanDeadline checks deadline expiry surfaces as DeadlineExceeded with
+// the best-so-far partition.
+func TestPlanDeadline(t *testing.T) {
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mcmpart.CorpusGraphs(1)[84]
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 10_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if res == nil || res.Partition == nil {
+		t.Fatal("deadline-bounded plan must return best-so-far")
+	}
+}
+
+// TestPretrainCancelInstallsBestSoFar pins Pretrain's cancellation
+// contract: training stops at the next iteration boundary, the most recent
+// checkpoint is installed as the planner's policy, and zero-shot planning
+// works afterwards.
+func TestPretrainCancelInstallsBestSoFar(t *testing.T) {
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := mcmpart.CorpusGraphs(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	report, err := pl.Pretrain(ctx, corpus[:10], mcmpart.PretrainOptions{
+		TotalSamples:     1_000_000, // would run for hours uncancelled
+		Checkpoints:      5,
+		ValidationGraphs: 2,
+		Progress: func(ev mcmpart.ProgressEvent) {
+			if ev.Samples == 50 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if report == nil || report.Checkpoints == 0 {
+		t.Fatalf("cancelled pre-training must report its checkpoints, got %+v", report)
+	}
+	if report.Scores != nil {
+		t.Fatal("validation was cancelled; scores must be nil")
+	}
+	if !pl.HasPolicy() {
+		t.Fatal("cancelled pre-training must still install the best-so-far policy")
+	}
+	res, err := pl.Plan(context.Background(), corpus[84], mcmpart.PlanOptions{
+		Method: mcmpart.MethodZeroShot, SampleBudget: 10,
+	})
+	if err != nil {
+		t.Fatalf("zero-shot after cancelled pre-training: %v", err)
+	}
+	if res.Improvement <= 0 {
+		t.Fatal("zero-shot after cancelled pre-training found nothing")
+	}
+}
+
+// TestCancelLeaksNoGoroutines runs a cancelled plan and a cancelled
+// pre-training and checks the goroutine count settles back to the
+// baseline: cancellation must not strand rollout workers.
+func TestCancelLeaksNoGoroutines(t *testing.T) {
+	pl, corpus := pretrainedPlanner(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := pl.Plan(ctx, corpus[84], mcmpart.PlanOptions{
+			Method:       mcmpart.MethodFineTune,
+			SampleBudget: 100000,
+			Seed:         int64(i + 1),
+			Progress: func(ev mcmpart.ProgressEvent) {
+				if ev.Samples >= 10 {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("run %d: want context.Canceled, got %v", i, err)
+		}
+	}
+	// Give worker goroutines a moment to drain, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Fatalf("goroutines grew from %d to %d after cancelled plans", before, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
