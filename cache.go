@@ -1,0 +1,118 @@
+package mcmpart
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// planCacheKey builds the canonical cache key of one plan: the graph's
+// canonical fingerprint, the package fingerprint, the fingerprint of the
+// installed policy (empty for the from-scratch methods, which never consult
+// it), and the normalized options. Everything a plan's output depends on is
+// in the key; everything else (graph names, node insertion order, Progress
+// callbacks) is deliberately not. See DESIGN.md, "The cache-key contract".
+func planCacheKey(graphFP, pkgFP, policyFP string, opts PlanOptions) string {
+	if opts.Method != MethodZeroShot && opts.Method != MethodFineTune {
+		// From-scratch methods are policy-independent: hitting the cache
+		// across policy installs is correct and desirable.
+		policyFP = ""
+	}
+	return fmt.Sprintf("g=%s|p=%s|w=%s|m=%s|b=%d|s=%d|sim=%t",
+		graphFP, pkgFP, policyFP, opts.Method, opts.SampleBudget, opts.Seed, opts.UseSimulator)
+}
+
+// cloneResult deep-copies a Result so cached entries stay immutable no
+// matter what callers do with what they were handed.
+func cloneResult(r *Result) *Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Partition = append(Partition(nil), r.Partition...)
+	c.History = append([]float64(nil), r.History...)
+	if r.FailCounts != nil {
+		c.FailCounts = make(map[string]int, len(r.FailCounts))
+		for k, v := range r.FailCounts {
+			c.FailCounts[k] = v
+		}
+	}
+	return &c
+}
+
+// planCache is a bounded LRU of completed plans. All methods are safe for
+// concurrent use. Results are deep-copied on the way in and on the way out:
+// a hit is bit-identical to the plan that populated the entry, and no
+// caller can corrupt it.
+type planCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type planCacheEntry struct {
+	key string
+	res *Result
+}
+
+// newPlanCache returns a cache bounded to max entries; max <= 0 disables
+// caching (every get is a miss, every put a no-op).
+func newPlanCache(max int) *planCache {
+	c := &planCache{cap: max}
+	if max > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element, max)
+	}
+	return c
+}
+
+func (c *planCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		c.misses++
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return cloneResult(el.Value.(*planCacheEntry).res), true
+}
+
+func (c *planCache) put(key string, res *Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planCacheEntry).res = cloneResult(res)
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planCacheEntry{key: key, res: cloneResult(res)})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+// snapshot returns (hits, misses, current size, capacity).
+func (c *planCache) snapshot() (hits, misses uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap > 0 {
+		size = c.ll.Len()
+	}
+	return c.hits, c.misses, size, c.cap
+}

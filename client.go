@@ -1,0 +1,178 @@
+package mcmpart
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin Go client for the mcmpartd HTTP API (see NewHTTPHandler
+// for the routes and wire types). A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://localhost:7433"). httpClient may be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// BaseURL returns the daemon base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// apiError is the client-side form of a daemon error response.
+type apiError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("mcmpartd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("mcmpart: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return &apiError{StatusCode: resp.StatusCode, Message: er.Error}
+		}
+		return &apiError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("mcmpart: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Plan runs a synchronous, cache-aware plan on the daemon.
+func (c *Client) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*PlanResponse, error) {
+	var resp PlanResponse
+	err := c.do(ctx, http.MethodPost, "/v1/plan", PlanRequestWire{
+		Graph:   g,
+		Options: optionsToWire(opts),
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitJob submits an asynchronous plan and returns its initial status.
+func (c *Client) SubmitJob(ctx context.Context, g *Graph, opts PlanOptions) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", PlanRequestWire{
+		Graph:   g,
+		Options: optionsToWire(opts),
+	}, &st)
+	return st, err
+}
+
+// JobStatus fetches the current status (and result, once terminal) of a job.
+func (c *Client) JobStatus(ctx context.Context, id string) (*JobResponse, error) {
+	var resp JobResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CancelJob cancels a job; the daemon keeps its best-so-far result.
+func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// WaitJob polls a job until it is terminal (or ctx is done), returning the
+// final response. poll <= 0 defaults to 250ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobResponse, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		resp, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.State.Terminal() {
+			return resp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Policies lists the daemon's installed and registry policies.
+func (c *Client) Policies(ctx context.Context) (*PoliciesResponse, error) {
+	var resp PoliciesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/policies", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon's operational snapshot.
+func (c *Client) Stats(ctx context.Context) (*ServiceStats, error) {
+	var st ServiceStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+func optionsToWire(opts PlanOptions) PlanOptionsWire {
+	return PlanOptionsWire{
+		Method:       opts.Method,
+		SampleBudget: opts.SampleBudget,
+		Seed:         opts.Seed,
+		UseSimulator: opts.UseSimulator,
+	}
+}

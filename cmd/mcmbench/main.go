@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	mcmbench [-out BENCH_PR3.json] [-workers N] [-iters N] [-pr N]
+//	mcmbench [-out BENCH_PR4.json] [-workers N] [-iters N] [-pr N]
 //
 // Besides the worker-pool speedups, the report carries a transfer
-// benchmark: the samples each deployment mode (RL from scratch, zero-shot,
+// benchmark — the samples each deployment mode (RL from scratch, zero-shot,
 // fine-tuning) needs to reach a fixed improvement on a held-out dev8
-// graph after one shared pre-training run — the paper's sample-efficiency
-// claim (Sec. 5.2/5.3) tracked PR over PR.
+// graph after one shared pre-training run, the paper's sample-efficiency
+// claim (Sec. 5.2/5.3) tracked PR over PR — and a service benchmark: the
+// latency of a cold plan vs its cached repeat through mcmpart.Service
+// (asserting bit-identical results) and the concurrent throughput of the
+// async job API.
 //
 // Each benchmark runs the same seeded computation twice — once at
 // workers=1 and once at workers=N — reporting wall-clock for both, the
@@ -69,6 +72,28 @@ type TransferBench struct {
 	SamplesFineTune int     `json:"samples_finetune"`
 }
 
+// ServiceBench reports the service layer's cold-vs-cached plan latency and
+// its concurrent throughput through the async job API.
+type ServiceBench struct {
+	Package string `json:"package"`
+	Graph   string `json:"graph"`
+	// ColdMs is the latency of the first (cache-miss) plan; CachedMs the
+	// latency of the identical repeat served from the plan cache.
+	ColdMs   float64 `json:"cold_ms"`
+	CachedMs float64 `json:"cached_ms"`
+	Speedup  float64 `json:"speedup"`
+	// CachedIdentical reports that the cached result was bit-identical to
+	// the cold plan — the cache contract, checked.
+	CachedIdentical bool `json:"cached_identical"`
+	// Concurrent throughput: Requests distinct plans pushed through
+	// Submit on PoolWorkers workers.
+	Requests      int     `json:"requests"`
+	PoolWorkers   int     `json:"pool_workers"`
+	ConcurrentMs  float64 `json:"concurrent_ms"`
+	PlansPerSec   float64 `json:"plans_per_sec"`
+	CacheHitsSeen uint64  `json:"cache_hits_seen"`
+}
+
 // Report is the emitted JSON document.
 type Report struct {
 	PR       int            `json:"pr"`
@@ -76,13 +101,14 @@ type Report struct {
 	Workers  int            `json:"workers"`
 	Benches  []Bench        `json:"benchmarks"`
 	Transfer *TransferBench `json:"transfer,omitempty"`
+	Service  *ServiceBench  `json:"service,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to benchmark against workers=1")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (best is kept)")
-	pr := flag.Int("pr", 3, "PR number recorded in the report")
+	pr := flag.Int("pr", 4, "PR number recorded in the report")
 	flag.Parse()
 
 	rep := Report{PR: *pr, CPUs: runtime.NumCPU(), Workers: *workers}
@@ -93,6 +119,7 @@ func main() {
 		benchTable1(*workers, *iters),
 	)
 	rep.Transfer = benchTransfer()
+	rep.Service = benchService(*workers)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -109,6 +136,10 @@ func main() {
 	t := rep.Transfer
 	fmt.Printf("transfer %s/%s: samples to %.2fx — scratch %d, zero-shot %d, fine-tune %d (0 = not reached in %d)\n",
 		t.Package, t.Graph, t.Threshold, t.SamplesScratch, t.SamplesZeroShot, t.SamplesFineTune, t.Budget)
+	sv := rep.Service
+	fmt.Printf("service %s/%s: cold %.1f ms, cached %.3f ms (%.0fx, identical=%v); %d concurrent plans on %d workers: %.1f ms (%.1f plans/s, %d cache hits)\n",
+		sv.Package, sv.Graph, sv.ColdMs, sv.CachedMs, sv.Speedup, sv.CachedIdentical,
+		sv.Requests, sv.PoolWorkers, sv.ConcurrentMs, sv.PlansPerSec, sv.CacheHitsSeen)
 	fmt.Println("wrote", *out)
 }
 
@@ -251,6 +282,88 @@ func benchTransfer() *TransferBench {
 	t.SamplesZeroShot = run(mcmpart.MethodZeroShot)
 	t.SamplesFineTune = run(mcmpart.MethodFineTune)
 	return t
+}
+
+// benchService measures the serving layer on dev8: the latency of one cold
+// (cache-miss) plan vs its identical cached repeat — asserting the repeat
+// is bit-identical — then the wall-clock of a burst of distinct plans
+// submitted concurrently through the async job API.
+func benchService(workers int) *ServiceBench {
+	ctx := context.Background()
+	svc, err := mcmpart.NewService(mcmpart.Dev8(), mcmpart.ServiceOptions{Workers: workers, QueueDepth: 4096})
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+	corpus := mcmpart.CorpusGraphs(1)
+	g := corpus[84]
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 40, Seed: 9}
+
+	start := time.Now()
+	cold, err := svc.Plan(ctx, g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	coldMs := float64(time.Since(start).Nanoseconds()) / 1e6
+	start = time.Now()
+	cached, err := svc.Plan(ctx, g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	cachedMs := float64(time.Since(start).Nanoseconds()) / 1e6
+
+	identical := cold.Samples == cached.Samples &&
+		cold.Throughput == cached.Throughput &&
+		len(cold.Partition) == len(cached.Partition)
+	if identical {
+		for i := range cold.Partition {
+			if cold.Partition[i] != cached.Partition[i] {
+				identical = false
+				break
+			}
+		}
+	}
+
+	sb := &ServiceBench{
+		Package: "dev8", Graph: g.Name(),
+		ColdMs: coldMs, CachedMs: cachedMs, CachedIdentical: identical,
+		PoolWorkers: svc.Stats().Workers,
+	}
+	if cachedMs > 0 {
+		sb.Speedup = coldMs / cachedMs
+	}
+
+	// Concurrent throughput: distinct (graph, seed) pairs so every plan is
+	// a genuine computation, submitted all at once.
+	const requests = 24
+	hitsBefore := svc.Stats().CacheHits
+	jobs := make([]*mcmpart.Job, 0, requests)
+	start = time.Now()
+	for i := 0; i < requests; i++ {
+		job, err := svc.Submit(ctx, mcmpart.PlanRequest{
+			Graph: corpus[80+i%5],
+			Options: mcmpart.PlanOptions{
+				Method: mcmpart.MethodRandom, SampleBudget: 40, Seed: int64(1 + i/5),
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs {
+		if _, err := job.Wait(ctx); err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := float64(time.Since(start).Nanoseconds()) / 1e6
+	sb.Requests = requests
+	sb.ConcurrentMs = elapsed
+	if elapsed > 0 {
+		sb.PlansPerSec = float64(requests) / (elapsed / 1e3)
+	}
+	sb.CacheHitsSeen = svc.Stats().CacheHits - hitsBefore
+	return sb
 }
 
 func fatal(err error) {

@@ -1,0 +1,147 @@
+// Command mcmpartd serves partition planning over HTTP: a long-lived
+// mcmpart.Service — concurrency-safe planner, bounded plan cache,
+// directory-backed policy registry, async job queue — behind the JSON API
+// documented on mcmpart.NewHTTPHandler.
+//
+// Usage:
+//
+//	mcmpartd [-addr :7433] [-mcm dev8] [-policy-dir DIR] [-policy FILE]
+//	         [-pool-workers N] [-queue N] [-cache N] [-workers N]
+//
+// -mcm selects the package the daemon plans for: a preset name (dev4,
+// dev8, dev8bi, edge36, het4, mesh16) or a path to a package JSON
+// descriptor. One daemon serves one package; run one instance per package.
+//
+// -policy-dir opens (creating if missing) a policy registry directory. The
+// newest artifact pre-trained for the daemon's package is installed at
+// startup, and — because selection also happens lazily at plan time — an
+// artifact dropped into the directory later is picked up by the first
+// zeroshot/finetune request that needs it. -policy installs one explicit
+// artifact instead (both may be given; -policy wins at startup).
+//
+// -pool-workers bounds how many plans run concurrently; -queue how many
+// admitted jobs may wait (further submissions get HTTP 429). -cache bounds
+// the plan cache in entries (0 keeps the default 256, negative disables).
+// -workers sets the process-wide compute worker default used inside each
+// plan (kernels, rollout collection).
+//
+// A quick session against a running daemon:
+//
+//	curl -s localhost:7433/healthz
+//	curl -s -X POST localhost:7433/v1/plan -d @request.json
+//	curl -s localhost:7433/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mcmpart"
+	"mcmpart/internal/parallel"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], nil))
+}
+
+// run is main, factored so tests can boot the daemon in-process: flags are
+// parsed from args, the bound address is reported on ready (when non-nil)
+// once the listener is up, and cancelling ctx shuts the daemon down
+// gracefully.
+func run(ctx context.Context, args []string, ready chan<- string) int {
+	fs := flag.NewFlagSet("mcmpartd", flag.ContinueOnError)
+	addr := fs.String("addr", ":7433", "listen address")
+	mcmSpec := fs.String("mcm", "dev8", "package to plan for: preset name (dev4, dev8, dev8bi, edge36, het4, mesh16) or package JSON path")
+	policyDir := fs.String("policy-dir", "", "policy registry directory (created if missing)")
+	policyPath := fs.String("policy", "", "explicit policy artifact to install at startup")
+	poolWorkers := fs.Int("pool-workers", 0, "concurrent plans (0 = process default)")
+	queueDepth := fs.Int("queue", 0, "job queue depth (0 = 4x pool workers)")
+	cacheEntries := fs.Int("cache", 0, "plan cache entries (0 = default 256, negative disables)")
+	workers := fs.Int("workers", runtime.NumCPU(), "compute workers per plan (kernels, rollouts)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	parallel.SetDefault(*workers)
+
+	pkg, err := loadPackage(*mcmSpec)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	svc, err := mcmpart.NewService(pkg, mcmpart.ServiceOptions{
+		Workers:      *poolWorkers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		PolicyDir:    *policyDir,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer svc.Close()
+	if *policyPath != "" {
+		if err := svc.Planner().LoadPolicy(*policyPath); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	server := &http.Server{Handler: logRequests(mcmpart.NewHTTPHandler(svc))}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("mcmpartd: serving package %s (%d chips) on %s (policy installed: %v)",
+		pkg.Name, pkg.Chips, ln.Addr(), svc.Planner().HasPolicy())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if err := server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// loadPackage resolves -mcm: preset names first, then package JSON files.
+func loadPackage(spec string) (*mcmpart.Package, error) {
+	pkg, presetErr := mcmpart.PackagePreset(spec)
+	if presetErr == nil {
+		return pkg, nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-mcm %q is not a package JSON file (%w); %v", spec, err, presetErr)
+	}
+	return mcmpart.ParsePackageJSON(data)
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

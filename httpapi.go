@@ -1,0 +1,260 @@
+package mcmpart
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The HTTP JSON API served by cmd/mcmpartd (and by anything embedding
+// NewHTTPHandler):
+//
+//	POST /v1/plan      {"graph": …, "options": …}  → PlanResponse (synchronous, cache-aware)
+//	POST /v1/jobs      {"graph": …, "options": …}  → JobStatus (202; async)
+//	GET  /v1/jobs/{id}                             → JobResponse (status + result when terminal)
+//	DELETE /v1/jobs/{id}                           → JobStatus (cancels)
+//	GET  /v1/policies                              → PoliciesResponse
+//	GET  /v1/stats                                 → ServiceStats
+//	GET  /healthz                                  → {"ok": true}
+//
+// Errors are {"error": "..."} with a meaningful status code: 400 for
+// malformed requests, 404 for unknown jobs, 429 when admission sheds load
+// (ErrBusy), 503 when the service is closed.
+
+// PlanOptionsWire is the JSON form of PlanOptions (Progress is not
+// serializable and has a polling equivalent in JobStatus).
+type PlanOptionsWire struct {
+	Method       Method `json:"method,omitempty"`
+	SampleBudget int    `json:"sample_budget,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	UseSimulator bool   `json:"use_simulator,omitempty"`
+}
+
+// Options converts the wire form to PlanOptions.
+func (w PlanOptionsWire) Options() PlanOptions {
+	return PlanOptions{
+		Method:       w.Method,
+		SampleBudget: w.SampleBudget,
+		Seed:         w.Seed,
+		UseSimulator: w.UseSimulator,
+	}
+}
+
+// ResultWire is the JSON form of Result.
+type ResultWire struct {
+	Partition   Partition      `json:"partition"`
+	Throughput  float64        `json:"throughput"`
+	Improvement float64        `json:"improvement"`
+	Samples     int            `json:"samples"`
+	History     []float64      `json:"history,omitempty"`
+	FailCounts  map[string]int `json:"fail_counts,omitempty"`
+}
+
+func resultToWire(r *Result) *ResultWire {
+	if r == nil {
+		return nil
+	}
+	return &ResultWire{
+		Partition:   r.Partition,
+		Throughput:  r.Throughput,
+		Improvement: r.Improvement,
+		Samples:     r.Samples,
+		History:     r.History,
+		FailCounts:  r.FailCounts,
+	}
+}
+
+// Result converts the wire form back to a Result.
+func (w *ResultWire) Result() *Result {
+	if w == nil {
+		return nil
+	}
+	return &Result{
+		Partition:   w.Partition,
+		Throughput:  w.Throughput,
+		Improvement: w.Improvement,
+		Samples:     w.Samples,
+		History:     w.History,
+		FailCounts:  w.FailCounts,
+	}
+}
+
+// PlanRequestWire is the body of POST /v1/plan and POST /v1/jobs.
+type PlanRequestWire struct {
+	// Graph uses the graph's native JSON encoding
+	// ({"name", "nodes", "edges"}, see Graph.MarshalJSON).
+	Graph   *Graph          `json:"graph"`
+	Options PlanOptionsWire `json:"options"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan.
+type PlanResponse struct {
+	Result *ResultWire `json:"result"`
+	// Cached reports that the plan was served from the plan cache.
+	Cached bool `json:"cached"`
+	// GraphFingerprint is the canonical fingerprint the cache keyed on.
+	GraphFingerprint string `json:"graph_fingerprint"`
+	// Error carries ctx-style partial failures (timeout with best-so-far).
+	Error string `json:"error,omitempty"`
+}
+
+// JobResponse is the body of GET /v1/jobs/{id}: the status snapshot plus
+// the result once the job is terminal.
+type JobResponse struct {
+	JobStatus
+	Result *ResultWire `json:"result,omitempty"`
+}
+
+// PoliciesResponse is the body of GET /v1/policies.
+type PoliciesResponse struct {
+	Package            string       `json:"package"`
+	PackageFingerprint string       `json:"package_fingerprint"`
+	PolicyInstalled    bool         `json:"policy_installed"`
+	PolicyFingerprint  string       `json:"policy_fingerprint,omitempty"`
+	Policies           []PolicyInfo `json:"policies"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHTTPHandler exposes a Service over the HTTP JSON API (see the package
+// comment above for the routes). cmd/mcmpartd serves exactly this handler;
+// embedding applications can mount it on their own mux.
+func NewHTTPHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodePlanRequest(w, r)
+		if !ok {
+			return
+		}
+		job, err := svc.Submit(r.Context(), PlanRequest{Graph: req.Graph, Options: req.Options.Options()})
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		var res *Result
+		select {
+		case <-job.Done():
+			res, err = job.Result()
+		case <-r.Context().Done():
+			job.Cancel()
+			<-job.Done()
+			res, _ = job.Result()
+			err = r.Context().Err()
+		}
+		if err != nil && res == nil {
+			writeServiceError(w, err)
+			return
+		}
+		resp := PlanResponse{
+			Result:           resultToWire(res),
+			Cached:           job.Status().Cached,
+			GraphFingerprint: req.Graph.Fingerprint(),
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodePlanRequest(w, r)
+		if !ok {
+			return
+		}
+		job, err := svc.Submit(r.Context(), PlanRequest{Graph: req.Graph, Options: req.Options.Options()})
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.Status())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+			return
+		}
+		resp := JobResponse{JobStatus: job.Status()}
+		if res, _ := job.Result(); res != nil {
+			resp.Result = resultToWire(res)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+			return
+		}
+		job.Cancel()
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+
+	mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, r *http.Request) {
+		pkg := svc.Package()
+		writeJSON(w, http.StatusOK, PoliciesResponse{
+			Package:            pkg.Name,
+			PackageFingerprint: svc.Stats().PackageFingerprint,
+			PolicyInstalled:    svc.Planner().HasPolicy(),
+			PolicyFingerprint:  svc.Planner().PolicyFingerprint(),
+			Policies:           svc.Policies(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// decodePlanRequest parses and structurally validates the shared body of
+// the plan and jobs endpoints. (Graph.UnmarshalJSON already validates the
+// graph; option validation happens in Submit.)
+func decodePlanRequest(w http.ResponseWriter, r *http.Request) (PlanRequestWire, bool) {
+	var req PlanRequestWire
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "decoding request: " + err.Error()})
+		return req, false
+	}
+	if req.Graph == nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "request has no graph"})
+		return req, false
+	}
+	return req, true
+}
+
+// writeServiceError maps service errors to HTTP status codes.
+func writeServiceError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrBusy):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrServiceClosed):
+		code = http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "pre-trained policy"):
+		// A servable configuration issue, not a malformed request.
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

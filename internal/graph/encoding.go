@@ -40,7 +40,15 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := fresh.Validate(); err != nil {
 		return err
 	}
-	*g = *fresh
+	// Field-wise assignment: Graph embeds an atomic fingerprint memo that
+	// must not be copied, only reset.
+	g.name = fresh.name
+	g.nodes = fresh.nodes
+	g.edges = fresh.edges
+	g.outEdges = fresh.outEdges
+	g.inEdges = fresh.inEdges
+	g.edgeSet = fresh.edgeSet
+	g.fp.Store(nil)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Node is a single tensor operation.
@@ -55,6 +56,8 @@ type Graph struct {
 	outEdges [][]int32
 	inEdges  [][]int32
 	edgeSet  map[[2]int]int32 // (from,to) -> edge index, rejects duplicates
+	// fp memoizes Fingerprint; see fpCache.
+	fp atomic.Pointer[fpCache]
 }
 
 // New returns an empty graph with the given name.

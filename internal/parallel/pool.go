@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrPoolClosed is returned by TrySubmit after Close.
+	ErrPoolClosed = errors.New("parallel: pool is closed")
+	// ErrPoolFull is returned by TrySubmit when the task queue is at
+	// capacity — the caller decides whether to shed load or retry.
+	ErrPoolFull = errors.New("parallel: pool queue is full")
+)
+
+// Pool is a long-lived bounded worker pool: a fixed set of goroutines
+// draining a bounded task queue. Unlike ForEach/Map — which fan a known
+// index range out and join — a Pool serves an open-ended stream of
+// independent tasks, which is what a planning service needs: admission is
+// explicit (TrySubmit fails fast when the queue is full instead of
+// buffering unboundedly), and Close drains what was admitted.
+//
+// The determinism contract of this package still applies to what runs
+// inside a task: tasks must not share mutable state except through their
+// own synchronization, and any randomness must be derived from stable task
+// identity (Seed), never from arrival order.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	workers int
+}
+
+// NewPool starts a pool of the given size. workers <= 0 uses the process
+// default (see SetDefault); queue <= 0 defaults to 4x the worker count.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = Default()
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	p := &Pool{tasks: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueCap returns the capacity of the task queue.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// TrySubmit enqueues fn without blocking. It returns ErrPoolFull when the
+// queue is at capacity and ErrPoolClosed after Close.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Close stops accepting tasks, waits for every admitted task (queued or
+// running) to finish, and returns. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,173 @@
+package mcmpart
+
+import (
+	"context"
+	"sync"
+)
+
+// JobState is the lifecycle phase of an asynchronous plan job.
+type JobState string
+
+// Job lifecycle. Queued and Running are transient; Done, Failed, and
+// Cancelled are terminal.
+const (
+	// JobQueued: admitted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is planning.
+	JobRunning JobState = "running"
+	// JobDone: the plan completed; Result is available.
+	JobDone JobState = "done"
+	// JobFailed: the plan errored; Err is available.
+	JobFailed JobState = "failed"
+	// JobCancelled: Cancel (or service shutdown) stopped the plan. If any
+	// valid partition had been found by then, Result carries it
+	// (best-so-far), mirroring Planner.Plan's cancellation contract.
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobStatus is a point-in-time snapshot of a job: its state plus the
+// running plan's progress (samples consumed, best-so-far improvement) —
+// the polling surface of the per-job Progress stream.
+type JobStatus struct {
+	// ID identifies the job within its Service.
+	ID string `json:"id"`
+	// State is the lifecycle phase at snapshot time.
+	State JobState `json:"state"`
+	// Cached reports that the result was served from the plan cache
+	// without consuming a worker.
+	Cached bool `json:"cached"`
+	// Samples and BestImprovement mirror the plan's Progress stream:
+	// evaluations consumed so far and the best-so-far improvement over the
+	// greedy baseline.
+	Samples         int     `json:"samples"`
+	BestImprovement float64 `json:"best_improvement,omitempty"`
+	// Error is the failure message of a failed (or cancelled) job.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one asynchronous plan submitted to a Service. A Job is handed out
+// by Service.Submit and remains valid after completion (the Service retains
+// a bounded history of terminal jobs for status queries).
+type Job struct {
+	id string
+	// ctx is the job's execution context: derived from the service
+	// lifecycle, cancelled by Cancel.
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   JobState
+	cached  bool
+	samples int
+	best    float64
+	result  *Result
+	err     error
+}
+
+func newJob(id string, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{id: id, ctx: ctx, cancel: cancel, done: make(chan struct{}), state: JobQueued}
+}
+
+// ID returns the job's Service-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns a snapshot of the job's state and progress.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:              j.id,
+		State:           j.state,
+		Cached:          j.cached,
+		Samples:         j.samples,
+		BestImprovement: j.best,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the job's result and error once terminal ((nil, nil)
+// before then). A cancelled job may carry both: the best-so-far result and
+// the cancellation error.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil
+	}
+	return j.result, j.err
+}
+
+// Wait blocks until the job is terminal or ctx is done. When ctx wins, Wait
+// returns ctx.Err() and the job keeps running — pair Wait with Cancel for
+// give-up-and-stop semantics (Service.Plan does exactly that).
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel asks the job to stop. A queued job finishes cancelled without
+// planning; a running job stops at the next sample boundary and keeps its
+// best-so-far result. Cancel returns immediately; observe completion via
+// Wait or Done. Cancelling a terminal job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// markRunning flips a queued job to running; it reports false if the job
+// already finished (e.g. cancelled while queued).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	return true
+}
+
+// recordProgress is the per-job progress sink the Service wires into the
+// plan's ProgressFunc.
+func (j *Job) recordProgress(ev ProgressEvent) {
+	j.mu.Lock()
+	j.samples = ev.Samples
+	j.best = ev.BestImprovement
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, reporting whether
+// this call made the transition.
+func (j *Job) finish(state JobState, res *Result, err error, cached bool) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.cached = cached
+	if res != nil {
+		j.samples = res.Samples
+		j.best = res.Improvement
+	}
+	j.mu.Unlock()
+	// Release the job's child context so a long-lived service does not
+	// accumulate one cancel registration per request ever served.
+	j.cancel()
+	close(j.done)
+	return true
+}

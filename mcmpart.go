@@ -22,6 +22,12 @@
 //	})
 //	fmt.Println(res.Partition, res.Throughput)
 //
+// For serving many callers from one process — or over the network — wrap
+// the planner in a Service: a concurrency-safe front end adding a plan
+// cache (keyed by canonical graph fingerprint), a directory-backed policy
+// registry, and an async job queue. cmd/mcmpartd serves a Service over the
+// HTTP JSON API in NewHTTPHandler, and Client is its thin Go client.
+//
 // PartitionGraph remains as a deprecated one-shot wrapper over the Planner.
 // See DESIGN.md for the system inventory, deviations, and reproduction
 // notes; cmd/mcmexp regenerates every table and figure of the paper.
@@ -35,6 +41,7 @@ import (
 	"mcmpart/internal/hwsim"
 	"mcmpart/internal/mcm"
 	"mcmpart/internal/partition"
+	"mcmpart/internal/rl"
 	"mcmpart/internal/workload"
 )
 
@@ -80,6 +87,13 @@ func Mesh16() *Package { return mcm.Mesh16() }
 // PackagePreset returns a package by name ("dev4", "dev8", "dev8bi",
 // "edge36", "het4", "mesh16").
 func PackagePreset(name string) (*Package, error) { return mcm.Preset(name) }
+
+// PackageFingerprint returns the stable content hash of a package
+// descriptor — the key policies are bound to in artifacts and the registry,
+// and the package half of the Service plan-cache key. Graphs have the
+// matching Graph.Fingerprint method (canonical: isomorphic node-insertion
+// orders hash identically).
+func PackageFingerprint(pkg *Package) string { return rl.PackageFingerprint(pkg) }
 
 // ParsePackageJSON deserializes and validates a package descriptor,
 // including heterogeneous per-chip arrays and the topology tag; JSON from

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
@@ -57,6 +58,44 @@ type PlanOptions struct {
 	Progress ProgressFunc
 }
 
+// normalized validates the options and applies the documented defaults
+// (Method "" → MethodRL, SampleBudget 0 → 200, Seed 0 → 1). A zero value
+// asks for the default; explicitly out-of-range values — a negative budget,
+// a negative seed, an unknown method — are caller bugs and return
+// descriptive errors instead of silently planning something else. The
+// normalized form is also the canonical shape of the plan-cache key: every
+// PlanOptions that normalizes identically must plan identically.
+func (o PlanOptions) normalized() (PlanOptions, error) {
+	if o.Method == "" {
+		o.Method = MethodRL
+	}
+	switch o.Method {
+	case MethodGreedy, MethodRandom, MethodSA, MethodRL, MethodZeroShot, MethodFineTune:
+	default:
+		return o, fmt.Errorf("mcmpart: unknown method %q", o.Method)
+	}
+	if o.SampleBudget < 0 {
+		return o, fmt.Errorf("mcmpart: SampleBudget %d is negative; use 0 for the default (200)", o.SampleBudget)
+	}
+	if o.SampleBudget == 0 {
+		o.SampleBudget = 200
+	}
+	if o.Seed < 0 {
+		return o, fmt.Errorf("mcmpart: Seed %d is negative; seeds are non-negative (0 selects the default seed 1)", o.Seed)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// Validate reports whether the options are well-formed without planning
+// anything. It applies the same rules Plan does.
+func (o PlanOptions) Validate() error {
+	_, err := o.normalized()
+	return err
+}
+
 // PretrainOptions configure Planner.Pretrain, the paper's Sec. 4.3
 // pipeline: PPO over a corpus of training graphs against the analytical
 // cost model, with a validation worker replaying checkpoints to pick the
@@ -88,6 +127,57 @@ type PretrainOptions struct {
 	Progress ProgressFunc
 }
 
+// normalized validates the options and applies the documented defaults.
+// Zero values ask for defaults; negative budgets, checkpoint counts,
+// validation budgets, worker counts, or seeds are caller bugs and return
+// descriptive errors instead of silently training nothing.
+func (o PretrainOptions) normalized() (PretrainOptions, error) {
+	if o.TotalSamples < 0 {
+		return o, fmt.Errorf("mcmpart: TotalSamples %d is negative; use 0 for the default (2000)", o.TotalSamples)
+	}
+	if o.TotalSamples == 0 {
+		o.TotalSamples = 2000
+	}
+	if o.Checkpoints < 0 {
+		return o, fmt.Errorf("mcmpart: Checkpoints %d is negative; use 0 for the default (10)", o.Checkpoints)
+	}
+	if o.Checkpoints == 0 {
+		// Default 10, capped so a small explicit TotalSamples still works.
+		o.Checkpoints = 10
+		if o.Checkpoints > o.TotalSamples {
+			o.Checkpoints = o.TotalSamples
+		}
+	} else if o.Checkpoints > o.TotalSamples {
+		return o, fmt.Errorf("mcmpart: %d checkpoints cannot be cut from %d total samples", o.Checkpoints, o.TotalSamples)
+	}
+	if o.ValidationSamples < 0 {
+		return o, fmt.Errorf("mcmpart: ValidationSamples %d is negative; use 0 for the default (8)", o.ValidationSamples)
+	}
+	if o.ValidationSamples == 0 {
+		o.ValidationSamples = 8
+	}
+	if o.ValidationGraphs < 0 {
+		return o, fmt.Errorf("mcmpart: ValidationGraphs %d is negative; use 0 for the default (one fifth of the corpus)", o.ValidationGraphs)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("mcmpart: Workers %d is negative; use 0 for the process default", o.Workers)
+	}
+	if o.Seed < 0 {
+		return o, fmt.Errorf("mcmpart: Seed %d is negative; seeds are non-negative (0 selects the default seed 1)", o.Seed)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// Validate reports whether the options are well-formed without training
+// anything. It applies the same rules Pretrain does.
+func (o PretrainOptions) Validate() error {
+	_, err := o.normalized()
+	return err
+}
+
 // PretrainReport summarizes a Pretrain run.
 type PretrainReport struct {
 	// Checkpoints is how many checkpoints the training worker emitted.
@@ -112,12 +202,21 @@ type PretrainReport struct {
 //	pl.SavePolicy("dev8.policy.json")
 //	res, _ := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodZeroShot})
 //
-// Plan and Assess may be called concurrently from multiple goroutines (each
-// call clones the installed policy); Pretrain, LoadPolicy, and SavePolicy
-// must not run concurrently with other methods.
+// Every method is safe for concurrent use: Plan and Assess read a snapshot
+// of the installed policy (and clone it before mutating weights), while
+// Pretrain, LoadPolicy, and SavePolicy swap or read the installed policy
+// under the planner's lock. Concurrent Plan calls therefore see either the
+// policy from before or after a concurrent install, never a torn state —
+// the concurrency contract Service builds on (see DESIGN.md).
 type Planner struct {
-	pkg    *Package
-	policy *rl.Policy
+	pkg *Package
+
+	// mu guards the installed policy and the fine-tune PPO configuration.
+	// The policy value itself is immutable once installed: planning methods
+	// clone it before any weight update.
+	mu       sync.RWMutex
+	policy   *rl.Policy
+	policyFP string
 	// ftPPO is the PPO configuration MethodFineTune continues training
 	// with; Pretrain keeps it aligned with the pre-training scale.
 	ftPPO rl.PPOConfig
@@ -126,6 +225,9 @@ type Planner struct {
 // NewPlanner builds a planning session for the package. The package is
 // validated once here; every subsequent call reuses it.
 func NewPlanner(pkg *Package) (*Planner, error) {
+	if pkg == nil {
+		return nil, fmt.Errorf("mcmpart: nil package")
+	}
 	if err := pkg.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,7 +239,58 @@ func (pl *Planner) Package() *Package { return pl.pkg }
 
 // HasPolicy reports whether a pre-trained policy is installed (via Pretrain
 // or LoadPolicy), enabling MethodZeroShot and MethodFineTune.
-func (pl *Planner) HasPolicy() bool { return pl.policy != nil }
+func (pl *Planner) HasPolicy() bool {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.policy != nil
+}
+
+// PolicyFingerprint returns a stable content hash of the installed policy
+// (configuration plus every weight), or "" when no policy is installed.
+// Plans by the deployed-policy methods are a pure function of (graph,
+// package, normalized options, policy fingerprint) — the contract the plan
+// cache keys on.
+func (pl *Planner) PolicyFingerprint() string {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.policyFP
+}
+
+// installPolicy swaps the installed policy under the planner's lock. The
+// fine-tune PPO configuration is derived from the policy's network shape
+// (full-scale network → full-scale PPO), so the pair MethodFineTune runs
+// with is a pure function of the installed policy — the property the plan
+// cache's policy-fingerprint key relies on.
+func (pl *Planner) installPolicy(policy *rl.Policy) {
+	fp := rl.PolicyFingerprint(policy)
+	ftPPO := ftPPOFor(policy)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.policy = policy
+	pl.policyFP = fp
+	pl.ftPPO = ftPPO
+}
+
+// ftPPOFor picks the PPO configuration MethodFineTune continues training a
+// policy with: the paper-scale configuration for policies with the
+// paper-scale network, the quick configuration otherwise.
+func ftPPOFor(policy *rl.Policy) rl.PPOConfig {
+	full := rl.DefaultConfig(policy.Cfg.Chips)
+	if policy.Cfg.Hidden == full.Hidden &&
+		policy.Cfg.SAGELayers == full.SAGELayers &&
+		policy.Cfg.Iterations == full.Iterations {
+		return rl.DefaultPPOConfig()
+	}
+	return rl.QuickPPOConfig()
+}
+
+// snapshotPolicy returns the installed policy and fine-tune configuration
+// as one consistent pair.
+func (pl *Planner) snapshotPolicy() (*rl.Policy, rl.PPOConfig) {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.policy, pl.ftPPO
+}
 
 // freshPolicyConfig returns the network shape for a from-scratch policy on
 // this package: the paper's exact shape on homogeneous packages, widened
@@ -229,17 +382,15 @@ func (pl *Planner) newEnv(g *Graph, gctx *rl.GraphContext, ev eval.Evaluator) (*
 // ctx.Err(), so callers can both observe the deadline and keep the work
 // already paid for.
 func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("mcmpart: nil graph")
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Method == "" {
-		opts.Method = MethodRL
-	}
-	if opts.SampleBudget <= 0 {
-		opts.SampleBudget = 200
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
 	}
 	ev := pl.evaluator(opts.UseSimulator, opts.Seed)
 
@@ -247,13 +398,14 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 	// policy was trained with; the from-scratch methods always use the
 	// package's fresh shape, regardless of any loaded artifact — "scratch"
 	// must mean the same configuration on every planner.
+	installed, ftPPO := pl.snapshotPolicy()
 	policyCfg := pl.freshPolicyConfig(false)
 	usesPretrained := opts.Method == MethodZeroShot || opts.Method == MethodFineTune
 	if usesPretrained {
-		if pl.policy == nil {
+		if installed == nil {
 			return nil, fmt.Errorf("mcmpart: method %q needs a pre-trained policy: call Pretrain or LoadPolicy first", opts.Method)
 		}
-		policyCfg = pl.policy.Cfg
+		policyCfg = installed.Cfg
 	}
 
 	greedy, base, err := pl.baseline(g, ev)
@@ -293,13 +445,14 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 		// the configuration the policy was pre-trained under (Sec. 5.1's
 		// choice for the transfer experiments).
 		env.UseSampleMode = true
-		runErr = rl.ZeroShot(ctx, pl.policy.Clone(), env, opts.SampleBudget, rng)
+		runErr = rl.ZeroShot(ctx, installed.Clone(), env, opts.SampleBudget, rng)
 	case MethodFineTune:
 		env.UseSampleMode = true
 		// Fine-tuning updates weights; clone so the planner's installed
 		// policy stays the pristine pre-trained artifact for reuse.
-		_, runErr = rl.FineTune(ctx, pl.policy.Clone(), env, pl.ftPPO, opts.SampleBudget, rng)
+		_, runErr = rl.FineTune(ctx, installed.Clone(), env, ftPPO, opts.SampleBudget, rng)
 	default:
+		// normalized() already rejected unknown methods.
 		return nil, fmt.Errorf("mcmpart: unknown method %q", opts.Method)
 	}
 	if env.Best == nil {
@@ -328,19 +481,16 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 // the best-so-far policy (the most recent checkpoint), returning the report
 // together with ctx.Err().
 func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainOptions) (*PretrainReport, error) {
-	if opts.TotalSamples <= 0 {
-		opts.TotalSamples = 2000
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
 	}
-	if opts.Checkpoints <= 0 {
-		opts.Checkpoints = 10
+	for i, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("mcmpart: pre-training corpus graph %d is nil", i)
+		}
 	}
-	if opts.ValidationSamples <= 0 {
-		opts.ValidationSamples = 8
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.ValidationGraphs <= 0 {
+	if opts.ValidationGraphs == 0 {
 		opts.ValidationGraphs = len(graphs) / 5
 		if opts.ValidationGraphs < 1 {
 			opts.ValidationGraphs = 1
@@ -393,10 +543,9 @@ func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainO
 	if rerr := policy.Restore(res.Best()); rerr != nil {
 		return nil, fmt.Errorf("mcmpart: restoring selected checkpoint: %w", rerr)
 	}
-	pl.policy = policy
-	if opts.FullScale {
-		pl.ftPPO = rl.DefaultPPOConfig()
-	}
+	// installPolicy derives the fine-tune PPO scale from the policy's
+	// network shape, which matches opts.FullScale by construction.
+	pl.installPolicy(policy)
 	report := &PretrainReport{
 		Checkpoints: len(res.Checkpoints),
 		Scores:      res.Scores,
@@ -411,10 +560,11 @@ func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainO
 // SavePolicy persists the installed policy as a versioned artifact bound to
 // this planner's package (weights + network shape + package fingerprint).
 func (pl *Planner) SavePolicy(path string) error {
-	if pl.policy == nil {
+	policy, _ := pl.snapshotPolicy()
+	if policy == nil {
 		return fmt.Errorf("mcmpart: planner has no policy to save; run Pretrain or LoadPolicy first")
 	}
-	return rl.SaveArtifact(path, pl.policy, pl.pkg)
+	return rl.SaveArtifact(path, policy, pl.pkg)
 }
 
 // LoadPolicy installs a policy from an artifact written by SavePolicy. The
@@ -427,6 +577,6 @@ func (pl *Planner) LoadPolicy(path string) error {
 	if err != nil {
 		return err
 	}
-	pl.policy = policy
+	pl.installPolicy(policy)
 	return nil
 }

@@ -1,0 +1,600 @@
+package mcmpart
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mcmpart/internal/parallel"
+	"mcmpart/internal/rl"
+)
+
+// Service errors.
+var (
+	// ErrServiceClosed is returned by Submit, Plan, and PlanBatch after
+	// Close.
+	ErrServiceClosed = errors.New("mcmpart: service is closed")
+	// ErrBusy is returned by Submit when the job queue is at capacity —
+	// the admission-control signal; callers shed load or retry later.
+	ErrBusy = errors.New("mcmpart: service queue is full")
+)
+
+// ServiceOptions configure NewService. The zero value is a working
+// configuration: process-default workers, a 4x queue, a 256-entry cache,
+// and no policy directory.
+type ServiceOptions struct {
+	// Workers is the number of plans that may run concurrently
+	// (0 = process default, see internal worker-pool default; negative is
+	// an error).
+	Workers int
+	// QueueDepth bounds how many admitted jobs may wait for a worker
+	// (0 = 4x Workers; negative is an error). When the queue is full,
+	// Submit returns ErrBusy.
+	QueueDepth int
+	// CacheEntries bounds the plan cache (0 = 256 entries; negative
+	// disables caching).
+	CacheEntries int
+	// PolicyDir, when set, opens a directory-backed policy registry
+	// (created if missing). At startup — and lazily at plan time whenever
+	// no policy is installed — the service installs the newest registry
+	// policy matching its package, enabling MethodZeroShot and
+	// MethodFineTune without an explicit Pretrain.
+	PolicyDir string
+	// MaxRetainedJobs bounds how many terminal jobs the service keeps
+	// addressable by ID for status queries (0 = 1024; negative is an
+	// error). Oldest terminal jobs are evicted first; live jobs are never
+	// evicted.
+	MaxRetainedJobs int
+}
+
+// ServiceStats is a point-in-time operational snapshot of a Service.
+type ServiceStats struct {
+	Package            string `json:"package"`
+	PackageFingerprint string `json:"package_fingerprint"`
+	Workers            int    `json:"workers"`
+	QueueDepth         int    `json:"queue_depth"`
+
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheCapacity int    `json:"cache_capacity"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsQueued    int    `json:"jobs_queued"`
+	JobsRunning   int    `json:"jobs_running"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+
+	PolicyInstalled   bool   `json:"policy_installed"`
+	PolicyFingerprint string `json:"policy_fingerprint,omitempty"`
+	RegistryPolicies  int    `json:"registry_policies"`
+}
+
+// PolicyInfo describes one policy visible to the service: the installed
+// one and/or a registry artifact.
+type PolicyInfo struct {
+	// Path is the artifact file ("" for a policy installed via Pretrain
+	// that was never saved).
+	Path string `json:"path,omitempty"`
+	// PackageName names the package the policy was pre-trained for.
+	PackageName string `json:"package_name"`
+	// PackageFingerprint is the fingerprint the artifact is bound to.
+	PackageFingerprint string `json:"package_fingerprint"`
+	// Seq is the registry sequence number (0 outside the registry naming
+	// scheme). Higher is newer among one package's policies.
+	Seq int `json:"seq"`
+	// Installed marks the policy currently driving MethodZeroShot and
+	// MethodFineTune plans.
+	Installed bool `json:"installed"`
+}
+
+// PlanRequest is one unit of work for Submit and PlanBatch.
+type PlanRequest struct {
+	// Graph is the computation graph to partition.
+	Graph *Graph
+	// Options configure the plan exactly as in Planner.Plan. The Progress
+	// callback, when set, streams from the worker goroutine running the
+	// job; Job.Status additionally exposes the latest progress snapshot to
+	// pollers.
+	Options PlanOptions
+}
+
+// Service is a long-lived, concurrency-safe planning front end over a
+// Planner — the process-wide object a daemon (cmd/mcmpartd) or an embedding
+// application shares across all callers. It adds what a multi-tenant
+// deployment needs beyond a bare Planner:
+//
+//   - a bounded LRU plan cache keyed by canonical graph fingerprint ×
+//     package fingerprint × policy fingerprint × normalized options, so
+//     repeated requests for the same model return instantly and
+//     bit-identically;
+//   - a policy registry (directory-backed) with automatic selection of the
+//     newest matching policy at plan time;
+//   - an async job API — Submit/Job.Wait/Status/Cancel and PlanBatch —
+//     backed by a bounded worker pool with fail-fast admission (ErrBusy).
+//
+// All methods are safe for concurrent use. Close shuts the service down.
+type Service struct {
+	planner  *Planner
+	pkgFP    string
+	cache    *planCache
+	registry *rl.Registry
+	pool     *parallel.Pool
+
+	// root is the lifecycle context every job runs under; Close cancels it.
+	root     context.Context
+	shutdown context.CancelFunc
+
+	// installedMu guards the provenance of the installed policy: the
+	// registry path it came from ("" when installed via Pretrain or
+	// LoadPolicy) and its fingerprint at install time.
+	installedMu   sync.Mutex
+	installedPath string
+	installedFP   string
+
+	mu            sync.Mutex
+	closed        bool
+	seq           int
+	jobs          map[string]*Job
+	jobOrder      []string // insertion order, for terminal-job eviction
+	maxRetained   int
+	jobsSubmitted uint64
+	jobsDone      uint64
+	jobsFailed    uint64
+	jobsCancelled uint64
+	jobsQueued    int
+	jobsRunning   int
+}
+
+// NewService builds a service for one package. If opts.PolicyDir holds a
+// policy pre-trained for the package, the newest one is installed
+// immediately; otherwise the service starts policy-less (the from-scratch
+// methods work, and a policy can still arrive via Pretrain, LoadPolicy, or
+// a later registry drop picked up at plan time or by ReloadPolicies).
+func NewService(pkg *Package, opts ServiceOptions) (*Service, error) {
+	planner, err := NewPlanner(pkg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("mcmpart: Workers %d is negative; use 0 for the process default", opts.Workers)
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("mcmpart: QueueDepth %d is negative; use 0 for the default (4x workers)", opts.QueueDepth)
+	}
+	if opts.MaxRetainedJobs < 0 {
+		return nil, fmt.Errorf("mcmpart: MaxRetainedJobs %d is negative; use 0 for the default (1024)", opts.MaxRetainedJobs)
+	}
+	cacheEntries := opts.CacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = 256
+	}
+	maxRetained := opts.MaxRetainedJobs
+	if maxRetained == 0 {
+		maxRetained = 1024
+	}
+	root, shutdown := context.WithCancel(context.Background())
+	s := &Service{
+		planner:     planner,
+		pkgFP:       rl.PackageFingerprint(pkg),
+		cache:       newPlanCache(cacheEntries),
+		pool:        parallel.NewPool(opts.Workers, opts.QueueDepth),
+		root:        root,
+		shutdown:    shutdown,
+		jobs:        make(map[string]*Job),
+		maxRetained: maxRetained,
+	}
+	if opts.PolicyDir != "" {
+		reg, err := rl.OpenRegistry(opts.PolicyDir)
+		if err != nil {
+			s.pool.Close()
+			shutdown()
+			return nil, err
+		}
+		s.registry = reg
+		if err := s.installLatestFromRegistry(); err != nil {
+			s.pool.Close()
+			shutdown()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Planner returns the underlying planner, e.g. to Pretrain through the
+// service or to Assess a partition. The planner is concurrency-safe; a
+// policy installed on it is picked up by subsequent plans (and, because
+// the cache keys on the policy fingerprint, never by stale cache entries).
+func (s *Service) Planner() *Planner { return s.planner }
+
+// Package returns the package the service plans for.
+func (s *Service) Package() *Package { return s.planner.Package() }
+
+// installLatestFromRegistry installs the newest registry policy matching
+// the package, if any. A registry with no matching policy is not an error.
+func (s *Service) installLatestFromRegistry() error {
+	policy, entry, found, err := s.registry.LoadLatest(s.planner.Package())
+	if err != nil {
+		return fmt.Errorf("mcmpart: loading policy %s from registry: %w", entry.Path, err)
+	}
+	if found {
+		s.planner.installPolicy(policy)
+		s.installedMu.Lock()
+		s.installedPath = entry.Path
+		s.installedFP = s.planner.PolicyFingerprint()
+		s.installedMu.Unlock()
+	}
+	return nil
+}
+
+// ReloadPolicies rescans the policy directory and installs the newest
+// policy for the package (a no-op without a PolicyDir). Use it after
+// dropping a new artifact into the directory of a running service.
+func (s *Service) ReloadPolicies() error {
+	if s.registry == nil {
+		return nil
+	}
+	if err := s.registry.Rescan(); err != nil {
+		return err
+	}
+	return s.installLatestFromRegistry()
+}
+
+// SavePolicyToRegistry writes the planner's installed policy into the
+// policy directory as the next version for this package.
+func (s *Service) SavePolicyToRegistry() error {
+	if s.registry == nil {
+		return fmt.Errorf("mcmpart: service has no policy directory")
+	}
+	policy, _ := s.planner.snapshotPolicy()
+	if policy == nil {
+		return fmt.Errorf("mcmpart: planner has no policy to save; run Pretrain or LoadPolicy first")
+	}
+	_, err := s.registry.Save(policy, s.planner.Package())
+	return err
+}
+
+// Policies lists the installed policy and every registry artifact matching
+// the service's package, oldest first, installed one marked. The installed
+// mark uses the provenance recorded at install time (no artifact is read
+// from disk here), and is dropped if the planner's policy changed since —
+// e.g. a Pretrain through Planner() — in which case a synthetic
+// path-less entry represents the installed policy instead.
+func (s *Service) Policies() []PolicyInfo {
+	installedFP := s.planner.PolicyFingerprint()
+	s.installedMu.Lock()
+	installedPath := s.installedPath
+	if installedFP == "" || installedFP != s.installedFP {
+		installedPath = "" // policy replaced outside the registry
+	}
+	s.installedMu.Unlock()
+	var out []PolicyInfo
+	seenInstalled := false
+	if s.registry != nil {
+		for _, e := range s.registry.ForPackage(s.planner.Package()) {
+			info := PolicyInfo{
+				Path:               e.Path,
+				PackageName:        e.PackageName,
+				PackageFingerprint: e.PackageFingerprint,
+				Seq:                e.Seq,
+			}
+			if installedPath != "" && e.Path == installedPath {
+				info.Installed = true
+				seenInstalled = true
+			}
+			out = append(out, info)
+		}
+	}
+	if installedFP != "" && !seenInstalled {
+		out = append(out, PolicyInfo{
+			PackageName:        s.planner.Package().Name,
+			PackageFingerprint: s.pkgFP,
+			Installed:          true,
+		})
+	}
+	return out
+}
+
+// Stats returns a point-in-time operational snapshot.
+func (s *Service) Stats() ServiceStats {
+	hits, misses, size, capacity := s.cache.snapshot()
+	st := ServiceStats{
+		Package:            s.planner.Package().Name,
+		PackageFingerprint: s.pkgFP,
+		Workers:            s.pool.Workers(),
+		QueueDepth:         s.pool.QueueCap(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEntries:       size,
+		CacheCapacity:      capacity,
+		PolicyInstalled:    s.planner.HasPolicy(),
+		PolicyFingerprint:  s.planner.PolicyFingerprint(),
+	}
+	if s.registry != nil {
+		st.RegistryPolicies = len(s.registry.ForPackage(s.planner.Package()))
+	}
+	s.mu.Lock()
+	st.JobsSubmitted = s.jobsSubmitted
+	st.JobsDone = s.jobsDone
+	st.JobsFailed = s.jobsFailed
+	st.JobsCancelled = s.jobsCancelled
+	st.JobsQueued = s.jobsQueued
+	st.JobsRunning = s.jobsRunning
+	s.mu.Unlock()
+	return st
+}
+
+// Job returns a submitted job by ID. Terminal jobs stay addressable until
+// evicted by the retention bound.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// ensurePolicy makes the deployed-policy methods servable: if no policy is
+// installed but a registry is configured, the newest matching policy is
+// installed now — the "automatic policy selection at plan time".
+func (s *Service) ensurePolicy(method Method) error {
+	if method != MethodZeroShot && method != MethodFineTune {
+		return nil
+	}
+	if s.planner.HasPolicy() {
+		return nil
+	}
+	if s.registry != nil {
+		if err := s.registry.Rescan(); err != nil {
+			return err
+		}
+		if err := s.installLatestFromRegistry(); err != nil {
+			return err
+		}
+		if s.planner.HasPolicy() {
+			return nil
+		}
+	}
+	return fmt.Errorf("mcmpart: method %q needs a pre-trained policy: Pretrain, LoadPolicy, or drop an artifact for this package into the policy directory", method)
+}
+
+// Submit validates and admits one plan request, returning the Job tracking
+// it. Submission is fail-fast: a malformed request, a missing policy, or a
+// full queue (ErrBusy) is reported now, not from inside the job. ctx covers
+// admission only — the job itself runs under the service's lifecycle and
+// stops via Job.Cancel or Close.
+//
+// If the plan cache already holds the result, Submit returns an
+// already-terminal job carrying a copy of it (Status().Cached == true)
+// without consuming a worker.
+func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.Graph == nil {
+		return nil, fmt.Errorf("mcmpart: nil graph")
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := req.Options.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ensurePolicy(opts.Method); err != nil {
+		return nil, err
+	}
+
+	graphFP := req.Graph.Fingerprint()
+	key := planCacheKey(graphFP, s.pkgFP, s.planner.PolicyFingerprint(), opts)
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrServiceClosed
+		}
+		job := s.registerJobLocked()
+		s.mu.Unlock()
+		s.finishJob(job, JobDone, res, nil, true)
+		return job, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	job := s.registerJobLocked()
+	s.jobsQueued++
+	s.mu.Unlock()
+
+	run := func() { s.runJob(job, req.Graph, graphFP, opts) }
+	if err := s.pool.TrySubmit(run); err != nil {
+		job.cancel() // release the job's child context
+		s.mu.Lock()
+		s.jobsQueued--
+		s.jobsSubmitted--
+		delete(s.jobs, job.id)
+		for i := len(s.jobOrder) - 1; i >= 0; i-- {
+			if s.jobOrder[i] == job.id {
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, parallel.ErrPoolFull):
+			return nil, ErrBusy
+		case errors.Is(err, parallel.ErrPoolClosed):
+			return nil, ErrServiceClosed
+		default:
+			return nil, err
+		}
+	}
+	return job, nil
+}
+
+// registerJobLocked allocates, registers, and retention-evicts under s.mu.
+func (s *Service) registerJobLocked() *Job {
+	s.seq++
+	s.jobsSubmitted++
+	jobCtx, cancel := context.WithCancel(s.root)
+	job := newJob(fmt.Sprintf("job-%06d", s.seq), jobCtx, cancel)
+	s.jobs[job.id] = job
+	s.jobOrder = append(s.jobOrder, job.id)
+	// Evict oldest terminal jobs beyond the retention bound (and drop ids
+	// whose job was already removed, e.g. by an admission rollback).
+	if len(s.jobs) > s.maxRetained {
+		kept := s.jobOrder[:0]
+		for _, id := range s.jobOrder {
+			j, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			if len(s.jobs) > s.maxRetained && j.Status().State.Terminal() {
+				delete(s.jobs, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.jobOrder = kept
+	}
+	return job
+}
+
+// runJob executes one admitted job on a pool worker. graphFP is the
+// canonical graph fingerprint computed at admission (the graph is not
+// mutated while the job runs, per the Submit contract).
+func (s *Service) runJob(job *Job, g *Graph, graphFP string, opts PlanOptions) {
+	s.mu.Lock()
+	s.jobsQueued--
+	s.mu.Unlock()
+	if job.ctx.Err() != nil || !job.markRunning() {
+		s.finishJob(job, JobCancelled, nil, job.ctx.Err(), false)
+		return
+	}
+	s.mu.Lock()
+	s.jobsRunning++
+	s.mu.Unlock()
+
+	userProgress := opts.Progress
+	opts.Progress = func(ev ProgressEvent) {
+		job.recordProgress(ev)
+		if userProgress != nil {
+			userProgress(ev)
+		}
+	}
+
+	// The key was built from the policy fingerprint observed at admission.
+	// If the installed policy changed between then and now, re-key so the
+	// stored entry describes the policy that actually planned; if it
+	// changes again *during* the plan, skip the store (fpBefore/fpAfter
+	// bracket Plan's own policy snapshot, so equality proves the key).
+	fpBefore := s.planner.PolicyFingerprint()
+	res, err := s.planner.Plan(job.ctx, g, opts)
+	fpAfter := s.planner.PolicyFingerprint()
+
+	s.mu.Lock()
+	s.jobsRunning--
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		if fpBefore == fpAfter {
+			s.cache.put(planCacheKey(graphFP, s.pkgFP, fpBefore, opts), res)
+		}
+		s.finishJob(job, JobDone, res, nil, false)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Best-so-far semantics: a cancelled plan may still carry a result.
+		s.finishJob(job, JobCancelled, res, err, false)
+	default:
+		s.finishJob(job, JobFailed, nil, err, false)
+	}
+}
+
+// finishJob finalizes a job and updates the terminal counters.
+func (s *Service) finishJob(job *Job, state JobState, res *Result, err error, cached bool) {
+	if !job.finish(state, res, err, cached) {
+		return
+	}
+	s.mu.Lock()
+	switch state {
+	case JobDone:
+		s.jobsDone++
+	case JobFailed:
+		s.jobsFailed++
+	case JobCancelled:
+		s.jobsCancelled++
+	}
+	s.mu.Unlock()
+}
+
+// Plan is the synchronous, cache-aware entry point: Submit + Wait. When ctx
+// is cancelled or expires mid-plan, the job is cancelled and Plan returns
+// its best-so-far result together with ctx's error — the same contract as
+// Planner.Plan.
+func (s *Service) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Result, error) {
+	job, err := s.Submit(ctx, PlanRequest{Graph: g, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-job.Done():
+		return job.Result()
+	case <-ctx.Done():
+		job.Cancel()
+		<-job.Done()
+		res, _ := job.Result()
+		return res, ctx.Err()
+	}
+}
+
+// PlanBatch submits every request and waits for all of them. The results
+// slice is index-aligned with reqs; entries whose plan failed are nil. The
+// returned error is the lowest-index failure (admission or plan), so the
+// error a caller sees is deterministic. Cancelling ctx cancels the
+// still-running jobs (their best-so-far results are kept).
+func (s *Service) PlanBatch(ctx context.Context, reqs []PlanRequest) ([]*Result, error) {
+	jobs := make([]*Job, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, req := range reqs {
+		jobs[i], errs[i] = s.Submit(ctx, req)
+	}
+	results := make([]*Result, len(reqs))
+	for i, job := range jobs {
+		if job == nil {
+			continue
+		}
+		select {
+		case <-job.Done():
+		case <-ctx.Done():
+			job.Cancel()
+			<-job.Done()
+		}
+		results[i], errs[i] = job.Result()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Close stops admission, cancels every queued and running job (their
+// best-so-far results are kept, mirroring plan cancellation), waits for the
+// workers to drain, and returns. Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.pool.Close()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.shutdown()
+	s.pool.Close()
+	return nil
+}

@@ -1,0 +1,373 @@
+package mcmpart_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcmpart"
+)
+
+func newTestService(t *testing.T, opts mcmpart.ServiceOptions) *mcmpart.Service {
+	t.Helper()
+	svc, err := mcmpart.NewService(mcmpart.Dev4(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// resultsBitIdentical compares every field of two results, float64s by
+// bits.
+func resultsBitIdentical(a, b *mcmpart.Result) error {
+	if !reflect.DeepEqual(a.Partition, b.Partition) {
+		return fmt.Errorf("partitions differ: %v vs %v", a.Partition, b.Partition)
+	}
+	if math.Float64bits(a.Throughput) != math.Float64bits(b.Throughput) {
+		return fmt.Errorf("throughput differs: %v vs %v", a.Throughput, b.Throughput)
+	}
+	if math.Float64bits(a.Improvement) != math.Float64bits(b.Improvement) {
+		return fmt.Errorf("improvement differs: %v vs %v", a.Improvement, b.Improvement)
+	}
+	if a.Samples != b.Samples {
+		return fmt.Errorf("samples differ: %d vs %d", a.Samples, b.Samples)
+	}
+	if len(a.History) != len(b.History) {
+		return fmt.Errorf("history lengths differ: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		if math.Float64bits(a.History[i]) != math.Float64bits(b.History[i]) {
+			return fmt.Errorf("history[%d] differs: %v vs %v", i, a.History[i], b.History[i])
+		}
+	}
+	if !reflect.DeepEqual(a.FailCounts, b.FailCounts) {
+		return fmt.Errorf("fail counts differ: %v vs %v", a.FailCounts, b.FailCounts)
+	}
+	return nil
+}
+
+// TestServiceCacheHitBitIdenticalToColdPlan pins the cache contract: the
+// second identical request is a hit, bit-identical to the cold plan, and
+// bit-identical to what a fresh service computes cold for the same seed.
+func TestServiceCacheHitBitIdenticalToColdPlan(t *testing.T) {
+	ctx := context.Background()
+	g := smallGraph(t)
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 30, Seed: 7}
+
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 2})
+	cold, err := svc.Plan(ctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := svc.Plan(ctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsBitIdentical(cold, warm); err != nil {
+		t.Fatalf("cache hit differs from cold plan: %v", err)
+	}
+	st := svc.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats report %d hits / %d misses, want 1 / 1", st.CacheHits, st.CacheMisses)
+	}
+
+	// A different seed must not hit the first entry.
+	other := opts
+	other.Seed = 8
+	if _, err := svc.Plan(ctx, g, other); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("different seed should miss; stats: %+v", st)
+	}
+
+	// A second service must compute the same cold result the first cached.
+	svc2 := newTestService(t, mcmpart.ServiceOptions{Workers: 2})
+	cold2, err := svc2.Plan(ctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsBitIdentical(cold, cold2); err != nil {
+		t.Fatalf("cold plans diverge across services: %v", err)
+	}
+}
+
+// TestServiceCacheKeyUsesCanonicalFingerprint: the same model built in a
+// different node-insertion order hits the cache.
+func TestServiceCacheKeyUsesCanonicalFingerprint(t *testing.T) {
+	ctx := context.Background()
+	const n = 8
+	build := func(creationOrder []int) *mcmpart.Graph {
+		g := mcmpart.NewGraph("order")
+		ids := make([]int, n)
+		// Node `role` is position role in the chain, whatever order the
+		// nodes are created in — the graphs are isomorphic by construction.
+		for _, role := range creationOrder {
+			ids[role] = g.AddNode(mcmpart.Node{
+				Name: "fc", Op: mcmpart.OpKind(4), FLOPs: 1e9 * float64(1+role%3),
+				ParamBytes: 1 << 20, OutputBytes: 1 << 16,
+			})
+		}
+		for i := 0; i+1 < n; i++ {
+			g.MustAddEdge(ids[i], ids[i+1], 1<<16)
+		}
+		return g
+	}
+	forward, backward := make([]int, n), make([]int, n)
+	for i := 0; i < n; i++ {
+		forward[i], backward[i] = i, n-1-i
+	}
+	ga, gb := build(forward), build(backward)
+	if ga.Fingerprint() != gb.Fingerprint() {
+		t.Fatal("insertion orders fingerprint differently")
+	}
+	svc := newTestService(t, mcmpart.ServiceOptions{})
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodGreedy}
+	if _, err := svc.Plan(ctx, ga, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Plan(ctx, gb, opts); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.CacheHits != 1 {
+		t.Fatalf("isomorphic graph should hit the cache; stats: %+v", st)
+	}
+}
+
+// TestServiceConcurrentSubmit hammers one service from many goroutines over
+// a shared pre-trained policy: every job completes, results for identical
+// requests are identical, and the goroutine count settles back (no leaks).
+// Run under -race in CI.
+func TestServiceConcurrentSubmit(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		svc, err := mcmpart.NewService(mcmpart.Dev8(), mcmpart.ServiceOptions{Workers: 4, QueueDepth: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		ctx := context.Background()
+		corpus := mcmpart.CorpusGraphs(1)
+		if _, err := svc.Planner().Pretrain(ctx, corpus[:6], mcmpart.PretrainOptions{
+			TotalSamples: 120, Checkpoints: 3, ValidationGraphs: 1, ValidationSamples: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		graphs := corpus[80:83]
+		const goroutines = 8
+		const perG = 6
+		results := make([][]*mcmpart.Result, goroutines)
+		var wg sync.WaitGroup
+		for w := 0; w < goroutines; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					g := graphs[i%len(graphs)]
+					job, err := svc.Submit(ctx, mcmpart.PlanRequest{
+						Graph:   g,
+						Options: mcmpart.PlanOptions{Method: mcmpart.MethodZeroShot, SampleBudget: 6, Seed: int64(1 + i%2)},
+					})
+					if err != nil {
+						if errors.Is(err, mcmpart.ErrBusy) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					res, err := job.Wait(ctx)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[w] = append(results[w], res)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		// Identical requests (same graph index, same seed parity) must have
+		// produced identical results across goroutines.
+		for w := 1; w < goroutines; w++ {
+			if len(results[w]) != len(results[0]) {
+				continue // some submissions may have been shed under ErrBusy
+			}
+			for i := range results[w] {
+				if err := resultsBitIdentical(results[0][i], results[w][i]); err != nil {
+					t.Fatalf("goroutine %d request %d diverged: %v", w, i, err)
+				}
+			}
+		}
+		st := svc.Stats()
+		if st.JobsDone == 0 || st.CacheHits == 0 {
+			t.Fatalf("expected completed jobs and cache hits, stats: %+v", st)
+		}
+		if st.JobsQueued != 0 || st.JobsRunning != 0 {
+			t.Fatalf("queued/running not drained: %+v", st)
+		}
+	}()
+	// Leak check: goroutines must settle back after Close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after service close", before, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServiceJobCancelKeepsBestSoFar: cancelling a running job keeps the
+// best-so-far result, and the job reports the cancelled state.
+func TestServiceJobCancelKeepsBestSoFar(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 1})
+	var job *mcmpart.Job
+	started := make(chan struct{})
+	var once sync.Once
+	j, err := svc.Submit(context.Background(), mcmpart.PlanRequest{
+		Graph: smallGraph(t),
+		Options: mcmpart.PlanOptions{
+			Method: mcmpart.MethodRandom, SampleBudget: 1_000_000, Seed: 3,
+			Progress: func(ev mcmpart.ProgressEvent) {
+				if ev.Samples >= 10 {
+					once.Do(func() { close(started) })
+				}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = j
+	<-started
+	job.Cancel()
+	res, err := job.Wait(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || res.Partition == nil {
+		t.Fatal("cancelled job must keep its best-so-far result")
+	}
+	if st := job.Status(); st.State != mcmpart.JobCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	if st := svc.Stats(); st.JobsCancelled != 1 {
+		t.Fatalf("stats missed the cancellation: %+v", st)
+	}
+}
+
+func TestServicePlanBatch(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 2})
+	g := smallGraph(t)
+	reqs := []mcmpart.PlanRequest{
+		{Graph: g, Options: mcmpart.PlanOptions{Method: mcmpart.MethodGreedy}},
+		{Graph: g, Options: mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 10, Seed: 2}},
+		{Graph: g, Options: mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 10, Seed: 3}},
+	}
+	results, err := svc.PlanBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r == nil || r.Partition == nil {
+			t.Fatalf("batch result %d is empty", i)
+		}
+	}
+	// A bad request surfaces as the deterministic lowest-index error while
+	// the rest still plan.
+	reqs[1].Options.SampleBudget = -1
+	results, err = svc.PlanBatch(context.Background(), reqs)
+	if err == nil {
+		t.Fatal("negative budget must fail the batch")
+	}
+	if results[0] == nil || results[1] != nil || results[2] == nil {
+		t.Fatalf("batch must keep independent successes: %v", results)
+	}
+}
+
+func TestServiceValidationAndAdmission(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{})
+	ctx := context.Background()
+	g := smallGraph(t)
+	cases := []struct {
+		name string
+		req  mcmpart.PlanRequest
+		want string
+	}{
+		{"nil graph", mcmpart.PlanRequest{Graph: nil}, "nil graph"},
+		{"negative budget", mcmpart.PlanRequest{Graph: g, Options: mcmpart.PlanOptions{SampleBudget: -5}}, "negative"},
+		{"negative seed", mcmpart.PlanRequest{Graph: g, Options: mcmpart.PlanOptions{Seed: -1}}, "negative"},
+		{"unknown method", mcmpart.PlanRequest{Graph: g, Options: mcmpart.PlanOptions{Method: "telepathy"}}, "unknown method"},
+		{"policy-less zeroshot", mcmpart.PlanRequest{Graph: g, Options: mcmpart.PlanOptions{Method: mcmpart.MethodZeroShot}}, "pre-trained policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := svc.Submit(ctx, tc.req); err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	svc.Close()
+	if _, err := svc.Submit(ctx, mcmpart.PlanRequest{Graph: g}); !errors.Is(err, mcmpart.ErrServiceClosed) {
+		t.Fatalf("want ErrServiceClosed after Close, got %v", err)
+	}
+}
+
+func TestServiceOptionValidation(t *testing.T) {
+	for _, opts := range []mcmpart.ServiceOptions{
+		{Workers: -1}, {QueueDepth: -1}, {MaxRetainedJobs: -1},
+	} {
+		if _, err := mcmpart.NewService(mcmpart.Dev4(), opts); err == nil {
+			t.Fatalf("ServiceOptions %+v must be rejected", opts)
+		}
+	}
+	if _, err := mcmpart.NewService(nil, mcmpart.ServiceOptions{}); err == nil {
+		t.Fatal("nil package must be rejected")
+	}
+}
+
+func TestPlanOptionsValidate(t *testing.T) {
+	if err := (mcmpart.PlanOptions{}).Validate(); err != nil {
+		t.Fatalf("zero options must be valid (defaults): %v", err)
+	}
+	bad := []mcmpart.PlanOptions{
+		{SampleBudget: -1}, {Seed: -2}, {Method: "nope"},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("PlanOptions %+v must be invalid", o)
+		}
+	}
+	if err := (mcmpart.PretrainOptions{}).Validate(); err != nil {
+		t.Fatalf("zero pretrain options must be valid: %v", err)
+	}
+	// A small explicit budget with default checkpoints caps the default
+	// instead of erroring over a value the caller never set.
+	if err := (mcmpart.PretrainOptions{TotalSamples: 5}).Validate(); err != nil {
+		t.Fatalf("small TotalSamples with default Checkpoints must be valid: %v", err)
+	}
+	badPre := []mcmpart.PretrainOptions{
+		{TotalSamples: -1}, {Checkpoints: -1}, {ValidationSamples: -1},
+		{ValidationGraphs: -1}, {Workers: -3}, {Seed: -1},
+		{TotalSamples: 10, Checkpoints: 20},
+	}
+	for _, o := range badPre {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("PretrainOptions %+v must be invalid", o)
+		}
+	}
+}
