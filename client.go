@@ -30,14 +30,32 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 // BaseURL returns the daemon base URL the client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
-// apiError is the client-side form of a daemon error response.
-type apiError struct {
+// APIError is the client-side form of a daemon error response. Use
+// errors.As to read the status code, or errors.Is against the service
+// sentinels — the daemon's status-code mapping is inverted here, so
+// errors.Is(err, ErrBusy) works the same whether the Service was called
+// in-process or through a daemon.
+type APIError struct {
 	StatusCode int
 	Message    string
 }
 
-func (e *apiError) Error() string {
+func (e *APIError) Error() string {
 	return fmt.Sprintf("mcmpartd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Is maps the daemon's HTTP status codes back to the service's sentinel
+// errors: 429 → ErrBusy, 503 → ErrServiceClosed, 409 → ErrPolicyRequired.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrBusy:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrServiceClosed:
+		return e.StatusCode == http.StatusServiceUnavailable
+	case ErrPolicyRequired:
+		return e.StatusCode == http.StatusConflict
+	}
+	return false
 }
 
 // do issues one request and decodes the JSON response into out.
@@ -69,9 +87,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if resp.StatusCode/100 != 2 {
 		var er ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return &apiError{StatusCode: resp.StatusCode, Message: er.Error}
+			return &APIError{StatusCode: resp.StatusCode, Message: er.Error}
 		}
-		return &apiError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		// Malformed (non-JSON) error body: keep the raw text so proxies'
+		// plain-text errors stay diagnosable.
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	}
 	if out == nil {
 		return nil

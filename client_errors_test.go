@@ -1,0 +1,145 @@
+package mcmpart_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mcmpart"
+)
+
+// TestClientErrorMappingTable pins the bidirectional error contract of the
+// HTTP API: every status code the daemon emits round-trips through Client
+// back to the matching service sentinel (or to a bare APIError for plain
+// bad requests), including the malformed-error-body fallback.
+func TestClientErrorMappingTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		status   int
+		body     string
+		sentinel error  // errors.Is(err, sentinel) must hold (nil: none may match)
+		message  string // expected APIError.Message
+	}{
+		{
+			name:    "400 bad request has no sentinel",
+			status:  http.StatusBadRequest,
+			body:    `{"error":"mcmpart: SampleBudget -4 is negative; use 0 for the default (200)"}`,
+			message: "mcmpart: SampleBudget -4 is negative; use 0 for the default (200)",
+		},
+		{
+			name:     "409 conflict is ErrPolicyRequired",
+			status:   http.StatusConflict,
+			body:     `{"error":"mcmpart: a pre-trained policy is required: method \"zeroshot\" needs Pretrain, LoadPolicy, or an artifact for this package in the policy directory"}`,
+			sentinel: mcmpart.ErrPolicyRequired,
+			message:  `mcmpart: a pre-trained policy is required: method "zeroshot" needs Pretrain, LoadPolicy, or an artifact for this package in the policy directory`,
+		},
+		{
+			name:     "429 too many requests is ErrBusy",
+			status:   http.StatusTooManyRequests,
+			body:     `{"error":"mcmpart: service queue is full"}`,
+			sentinel: mcmpart.ErrBusy,
+			message:  "mcmpart: service queue is full",
+		},
+		{
+			name:     "503 unavailable is ErrServiceClosed",
+			status:   http.StatusServiceUnavailable,
+			body:     `{"error":"mcmpart: service is closed"}`,
+			sentinel: mcmpart.ErrServiceClosed,
+			message:  "mcmpart: service is closed",
+		},
+		{
+			name:    "malformed error body keeps the raw text",
+			status:  http.StatusBadGateway,
+			body:    "upstream exploded\n",
+			message: "upstream exploded",
+		},
+		{
+			name:    "empty error field falls back to raw body",
+			status:  http.StatusBadRequest,
+			body:    `{"error":""}`,
+			message: `{"error":""}`,
+		},
+	}
+	sentinels := []error{mcmpart.ErrBusy, mcmpart.ErrServiceClosed, mcmpart.ErrPolicyRequired}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(tc.status)
+				_, _ = w.Write([]byte(tc.body))
+			}))
+			defer srv.Close()
+			cl := mcmpart.NewClient(srv.URL, srv.Client())
+			_, err := cl.Plan(context.Background(), smallGraph(t), mcmpart.PlanOptions{})
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			var ae *mcmpart.APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("error %T is not an *APIError: %v", err, err)
+			}
+			if ae.StatusCode != tc.status {
+				t.Fatalf("StatusCode = %d, want %d", ae.StatusCode, tc.status)
+			}
+			if ae.Message != tc.message {
+				t.Fatalf("Message = %q, want %q", ae.Message, tc.message)
+			}
+			for _, s := range sentinels {
+				if match := errors.Is(err, s); match != (s == tc.sentinel) {
+					t.Errorf("errors.Is(err, %v) = %t, want %t", s, match, s == tc.sentinel)
+				}
+			}
+		})
+	}
+}
+
+// TestClientSentinelsRoundTripRealDaemon checks the mapping against a real
+// Service behind a real handler (not a stub): a zero-shot plan without a
+// policy must come back as ErrPolicyRequired, a full queue as ErrBusy, and
+// a closed service as ErrServiceClosed.
+func TestClientSentinelsRoundTripRealDaemon(t *testing.T) {
+	svc, err := mcmpart.NewService(mcmpart.Dev4(), mcmpart.ServiceOptions{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mcmpart.NewHTTPHandler(svc))
+	defer srv.Close()
+	defer svc.Close()
+	cl := mcmpart.NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	g := smallGraph(t)
+
+	if _, err := cl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodZeroShot}); !errors.Is(err, mcmpart.ErrPolicyRequired) {
+		t.Fatalf("zero-shot without policy: err = %v, want ErrPolicyRequired", err)
+	}
+
+	// Saturate the single worker and the depth-1 queue with long jobs, then
+	// the next submission must shed load as ErrBusy. Distinct seeds keep
+	// the jobs out of each other's cache entries.
+	long := func(seed int64) mcmpart.PlanOptions {
+		return mcmpart.PlanOptions{Method: mcmpart.MethodSA, SampleBudget: 500000, Seed: seed}
+	}
+	j1, err := cl.SubmitJob(ctx, g, long(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := cl.SubmitJob(ctx, g, long(102))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.SubmitJob(ctx, g, long(103))
+	if !errors.Is(err, mcmpart.ErrBusy) {
+		t.Fatalf("third job on a full queue: err = %v, want ErrBusy", err)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		if _, err := cl.CancelJob(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc.Close()
+	if _, err := cl.Plan(ctx, g, mcmpart.PlanOptions{}); !errors.Is(err, mcmpart.ErrServiceClosed) {
+		t.Fatalf("plan after Close: err = %v, want ErrServiceClosed", err)
+	}
+}

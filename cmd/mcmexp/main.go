@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|hetero|all
+//	mcmexp -exp fig5|table2|fig6|table3|fig7|table1|hetero|conformance|all
 //	       [-scale quick|full] [-seed N] [-workers N] [-mcm p1,p2,...]
 //	       [-timeout 30m]
 //
 // -mcm restricts the hetero sweep to a comma-separated list of package
-// presets (default: dev4,het4,dev8,dev8bi,mesh16).
+// presets (default: dev4,het4,dev8,dev8bi,mesh16) and the conformance
+// sweep likewise (default: all six presets).
+//
+// -exp conformance runs the scenario-fuzzing conformance battery
+// (internal/conformance): generated random graphs x package presets x
+// planning methods, checked against the differential oracles of DESIGN.md
+// §9. The report is byte-identical for a given -seed; any violation line
+// names the (seed, graph index) pair that reproduces it, and the run exits
+// non-zero so CI can gate on it.
 //
 // -timeout aborts a run that exceeds the given wall-clock budget (the
 // search loops observe context cancellation and stop at the next sample
@@ -40,7 +48,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig5, table2, fig6, table3, fig7, hetero, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig5, table2, fig6, table3, fig7, hetero, conformance, all")
 	scaleFlag := flag.String("scale", "quick", "scale: quick or full")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(),
@@ -116,14 +124,12 @@ func main() {
 
 	if run("hetero") {
 		cfg := experiments.HeteroConfig{Scale: scale, Seed: *seed}
-		if *mcmList != "" {
-			for _, name := range strings.Split(*mcmList, ",") {
-				pkg, err := mcm.Preset(strings.TrimSpace(name))
-				if err != nil {
-					fatal(err)
-				}
-				cfg.Packages = append(cfg.Packages, pkg)
+		for _, name := range parsePresets(*mcmList) {
+			pkg, err := mcm.Preset(name)
+			if err != nil {
+				fatal(err)
 			}
+			cfg.Packages = append(cfg.Packages, pkg)
 		}
 		res, err := experiments.HeteroSweep(ctx, cfg)
 		if err != nil {
@@ -131,6 +137,38 @@ func main() {
 		}
 		fmt.Println(res.Format())
 	}
+
+	// The conformance gate runs last so a violation's non-zero exit never
+	// truncates the independent experiments of an -exp all run.
+	if run("conformance") {
+		cfg := experiments.ConformanceConfig{Scale: scale, Seed: *seed}
+		for _, name := range parsePresets(*mcmList) {
+			if _, err := mcm.Preset(name); err != nil {
+				fatal(err)
+			}
+			cfg.Presets = append(cfg.Presets, name)
+		}
+		res, err := experiments.ConformanceSweep(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+		if vs := res.Violations(); len(vs) != 0 {
+			fatal(fmt.Errorf("conformance: %d oracle violations (reproduce with -seed %d)", len(vs), *seed))
+		}
+	}
+}
+
+// parsePresets splits a -mcm list into trimmed preset names ("" → none).
+func parsePresets(list string) []string {
+	if list == "" {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(list, ",") {
+		names = append(names, strings.TrimSpace(name))
+	}
+	return names
 }
 
 func fatal(err error) {

@@ -3,13 +3,21 @@
 //
 // Usage:
 //
-//	mcmgen -out dir [-seed 1] [-what corpus|bert|packages|all]
+//	mcmgen -out dir [-seed 1] [-what corpus|bert|packages|random|all]
+//	       [-random-count 20]
 //
 // It writes the 87-model pre-training corpus (train/validation/test
 // subdirectories matching the 66/5/16 split) and/or the 2138-node BERT
 // graph, in the JSON format cmd/mcmpart consumes, and/or every package
 // preset (including the heterogeneous and non-ring ones) as package JSON
 // under packages/ — editable starting points for custom -mcm descriptors.
+//
+// -what random emits -random-count scenario-fuzzing graphs from the
+// deterministic randgraph stream (layered, branchy, diamond, skewed-MoE
+// families) under random/. Graph i is exactly randgraph.Sample(seed, i) —
+// the same stream the conformance sweep and the corpus augmentation draw,
+// so a conformance violation's (seed, index) pair can be materialized to
+// disk with this command.
 package main
 
 import (
@@ -21,13 +29,15 @@ import (
 
 	"mcmpart/internal/graph"
 	"mcmpart/internal/mcm"
+	"mcmpart/internal/randgraph"
 	"mcmpart/internal/workload"
 )
 
 func main() {
 	out := flag.String("out", "graphs", "output directory")
 	seed := flag.Int64("seed", 1, "corpus seed")
-	what := flag.String("what", "all", "what to generate: corpus, bert, packages, all")
+	what := flag.String("what", "all", "what to generate: corpus, bert, packages, random, all")
+	randomCount := flag.Int("random-count", 20, "how many random graphs -what random emits")
 	flag.Parse()
 
 	if *what == "corpus" || *what == "all" {
@@ -58,6 +68,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote bert.json (%d nodes, %d MiB of weights)\n", g.NumNodes(), g.TotalParamBytes()>>20)
+	}
+	if *what == "random" || *what == "all" {
+		dir := filepath.Join(*out, "random")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *randomCount; i++ {
+			g := randgraph.Sample(*seed, i)
+			name := fmt.Sprintf("%03d-%s.json", i, g.Name())
+			if err := writeGraph(filepath.Join(dir, name), g); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d random scenario graphs (seed %d) under %s\n", *randomCount, *seed, dir)
 	}
 	if *what == "packages" || *what == "all" {
 		dir := filepath.Join(*out, "packages")

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 )
 
 // The HTTP JSON API served by cmd/mcmpartd (and by anything embedding
@@ -236,7 +235,10 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request) (PlanRequestWire,
 	return req, true
 }
 
-// writeServiceError maps service errors to HTTP status codes.
+// writeServiceError maps service errors to HTTP status codes. The mapping
+// is bidirectional: Client maps these codes back to the same sentinels, so
+// errors.Is works identically in-process and across the wire (pinned by the
+// table-driven tests in client_errors_test.go).
 func writeServiceError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
@@ -244,7 +246,7 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrServiceClosed):
 		code = http.StatusServiceUnavailable
-	case strings.Contains(err.Error(), "pre-trained policy"):
+	case errors.Is(err, ErrPolicyRequired):
 		// A servable configuration issue, not a malformed request.
 		code = http.StatusConflict
 	}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"context"
+
+	"mcmpart/internal/conformance"
+)
+
+// ConformanceConfig parameterizes the conformance sweep experiment: the
+// scenario-fuzzing battery of internal/conformance run across every package
+// preset. Quick scale covers 6 presets x 28 graphs x 3 methods = 504 plan
+// cases; full scale doubles the graph stream and the per-plan budget.
+type ConformanceConfig struct {
+	Scale Scale
+	Seed  int64
+	// Presets restricts the sweep (default: all six presets).
+	Presets []string
+}
+
+// ConformanceSweep runs the battery and returns the deterministic report.
+// The run is conforming iff the report carries zero violations; callers
+// (cmd/mcmexp, CI) treat violations as failures.
+func ConformanceSweep(ctx context.Context, cfg ConformanceConfig) (*conformance.Report, error) {
+	sweep := conformance.SweepConfig{
+		Seed:    cfg.Seed,
+		Presets: cfg.Presets,
+	}
+	if cfg.Scale == ScaleFull {
+		sweep.GraphsPerPreset = 56
+		sweep.SampleBudget = 32
+	}
+	return conformance.Sweep(ctx, sweep)
+}

@@ -19,7 +19,12 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes a graph previously encoded with MarshalJSON and
-// validates it.
+// validates it. It is the trust boundary for graphs arriving over the wire
+// (cmd/mcmpart -graph files, the daemon's plan endpoints), so every
+// structural defect is rejected with a descriptive error rather than being
+// carried into the planner: dangling or negative-sized edges (via AddEdge),
+// unknown operator kinds, non-finite or negative costs and cycles (via
+// Validate).
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var gj graphJSON
 	if err := json.Unmarshal(data, &gj); err != nil {
@@ -30,9 +35,13 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		if n.ID != i {
 			return fmt.Errorf("graph: node %d serialized with ID %d", i, n.ID)
 		}
+		if int(n.Op) >= NumOpKinds {
+			return fmt.Errorf("graph: node %d has unknown op kind %d (valid: 0..%d)", i, n.Op, NumOpKinds-1)
+		}
 		fresh.AddNode(n)
 	}
 	for _, e := range gj.Edges {
+		// AddEdge's errors already name the offending endpoints and size.
 		if err := fresh.AddEdge(e.From, e.To, e.Bytes); err != nil {
 			return err
 		}

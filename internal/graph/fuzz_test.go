@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// FuzzParseJSON fuzzes the wire-format trust boundary: arbitrary bytes must
+// either fail to decode with an error or produce a graph that validates,
+// survives a marshal/unmarshal round trip, and keeps its fingerprint.
+func FuzzParseJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"g","nodes":[{"id":0,"op":4,"flops":10,"output_bytes":8},{"id":1,"op":7}],"edges":[{"from":0,"to":1,"bytes":8}]}`))
+	f.Add([]byte(`{"name":"g","nodes":[{"id":0,"op":99}]}`))
+	f.Add([]byte(`{"name":"g","nodes":[{"id":0,"op":4}],"edges":[{"from":0,"to":7,"bytes":1}]}`))
+	f.Add([]byte(`{"name":"g","nodes":[{"id":0,"op":4},{"id":1,"op":4}],"edges":[{"from":0,"to":1,"bytes":-5}]}`))
+	f.Add([]byte(`{"nodes":null,"edges":null}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected: fine, as long as it never panics
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		fp := g.Fingerprint()
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded graph: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed to decode: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %s vs %s", back.String(), g.String())
+		}
+		if back.Fingerprint() != fp {
+			t.Fatalf("round trip changed fingerprint")
+		}
+	})
+}
+
+// FuzzFingerprint fuzzes the canonical-fingerprint contract on decoded
+// graphs: the fingerprint is deterministic, survives Clone, is invariant
+// under node-insertion-order permutation, and changes when a node's
+// operator kind changes.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte(`{"name":"g","nodes":[{"id":0,"op":4,"flops":10,"output_bytes":8},{"id":1,"op":7},{"id":2,"op":7}],"edges":[{"from":0,"to":1,"bytes":8},{"from":0,"to":2,"bytes":8}]}`), int64(1))
+	f.Add([]byte(`{"name":"twins","nodes":[{"id":0,"op":0,"output_bytes":4},{"id":1,"op":4,"flops":5},{"id":2,"op":4,"flops":5},{"id":3,"op":12}],"edges":[{"from":0,"to":1,"bytes":4},{"from":0,"to":2,"bytes":4},{"from":1,"to":3,"bytes":1},{"from":2,"to":3,"bytes":1}]}`), int64(7))
+	f.Fuzz(func(t *testing.T, data []byte, permSeed int64) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		fp := g.Fingerprint()
+		if fp == "" || fp != g.Clone().Fingerprint() {
+			t.Fatalf("fingerprint not stable under Clone")
+		}
+		// Rebuild with a random node-insertion order: isomorphic graphs
+		// must fingerprint identically.
+		n := g.NumNodes()
+		perm := rand.New(rand.NewSource(permSeed)).Perm(n)
+		rebuilt := New(g.Name())
+		for newID := 0; newID < n; newID++ {
+			nd := g.Node(perm[newID])
+			nd.ID = 0 // AddNode reassigns
+			rebuilt.AddNode(nd)
+		}
+		pos := make([]int, n)
+		for newID, oldID := range perm {
+			pos[oldID] = newID
+		}
+		for _, e := range g.Edges() {
+			if err := rebuilt.AddEdge(pos[e.From], pos[e.To], e.Bytes); err != nil {
+				t.Fatalf("rebuilding permuted graph: %v", err)
+			}
+		}
+		if got := rebuilt.Fingerprint(); got != fp {
+			t.Fatalf("insertion-order permutation changed the fingerprint")
+		}
+		// Sensitivity: flipping one node's operator must change it.
+		mutated := New(g.Name())
+		for v := 0; v < n; v++ {
+			nd := g.Node(v)
+			if v == int(uint64(permSeed)%uint64(n)) {
+				nd.Op = OpKind((int(nd.Op) + 1) % NumOpKinds)
+			}
+			mutated.AddNode(nd)
+		}
+		for _, e := range g.Edges() {
+			mutated.MustAddEdge(e.From, e.To, e.Bytes)
+		}
+		if mutated.Fingerprint() == fp {
+			t.Fatalf("operator mutation did not change the fingerprint")
+		}
+	})
+}

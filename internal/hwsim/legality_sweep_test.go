@@ -1,0 +1,64 @@
+package hwsim_test
+
+import (
+	"testing"
+
+	"mcmpart/internal/conformance"
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/hwsim"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/parallel"
+	"mcmpart/internal/randgraph"
+)
+
+// TestLegalityAgreementRandomGraphSweep extends the PR 2 legality-agreement
+// regression (TestCostModelAndSimulatorAgreeOnLegality, which pins four
+// hand-picked partitions of one graph) to a generated sweep: 200 seeded
+// random graphs per topology preset, each probed with a deterministic mix of
+// monotone, random, and reversed partitions through the conformance
+// harness's differential oracle. The contract under test is PR 2's fix:
+// costmodel invalid ⇔ hwsim invalid for a routability-class FailReason, on
+// every topology (uni/bi ring, mesh) and chiplet mix (homogeneous,
+// big/little).
+//
+// Any failure names (preset, seed, graph index); reproduce the graph alone
+// with randgraph.Sample(seed, index).
+func TestLegalityAgreementRandomGraphSweep(t *testing.T) {
+	const (
+		seed           = 20260726
+		graphsPer      = 200
+		partitionsEach = 4
+	)
+	presets := []string{"dev4", "dev8", "dev8bi", "het4", "mesh16", "edge36"}
+	// The graph stream is shared across presets so a divergence on one
+	// topology is directly comparable against the others.
+	graphs := make([]*graph.Graph, graphsPer)
+	for gi := range graphs {
+		graphs[gi] = randgraph.Sample(seed, gi)
+	}
+	for pi, preset := range presets {
+		pkg, err := mcm.Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := costmodel.New(pkg)
+		sim := hwsim.New(pkg, hwsim.Options{Seed: 1})
+		violations := 0
+		for gi, g := range graphs {
+			rng := parallel.Rng(parallel.Seed(seed, pi), gi)
+			for _, p := range conformance.SamplePartitions(g, pkg.Chips, rng, partitionsEach) {
+				scenario := preset + "/" + g.Name()
+				for _, v := range conformance.CheckLegalityAgreement(scenario, g, pkg, p, model, sim) {
+					violations++
+					if violations <= 5 {
+						t.Errorf("seed=%d graph=%d: %s", seed, gi, v)
+					}
+				}
+			}
+		}
+		if violations > 5 {
+			t.Errorf("%s: %d total legality violations (first 5 shown)", preset, violations)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package randgraph generates deterministic random computation graphs — the
+// scenario-fuzzing workloads behind the conformance harness, the fuzz
+// targets, and the opt-in corpus augmentation.
+//
+// The hand-built families in internal/workload mirror the paper's corpus
+// (Sec. 5.1); this package instead covers the space the corpus does not: it
+// draws structure itself at random, within four families chosen to stress
+// distinct partitioner behaviors:
+//
+//   - FamilyLayered: dense layer-to-layer wiring with random fan-in, the
+//     generic feed-forward shape;
+//   - FamilyBranchy: inception-style blocks of parallel branches between
+//     split and concat points, stressing the triangle-dependency constraint;
+//   - FamilyDiamond: chains of diamonds (fork into two unequal-length paths
+//     that re-merge), stressing acyclic-dataflow placement across stages;
+//   - FamilyMoE: mixture-of-experts layers with heavily skewed expert sizes,
+//     stressing per-chip memory and load balance on heterogeneous packages.
+//
+// Determinism contract: every random draw derives from Config.Seed via the
+// splitmix64 derivation in internal/parallel (parallel.Seed/parallel.Rng), so
+// a (family, nodes, seed) triple names one graph, bit-for-bit, across
+// processes and worker counts. A conformance violation found on a generated
+// graph is therefore reproducible from its seed alone.
+package randgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcmpart/internal/graph"
+	"mcmpart/internal/parallel"
+)
+
+// Family selects a structural family of random graphs.
+type Family string
+
+// The generated families.
+const (
+	FamilyLayered Family = "layered"
+	FamilyBranchy Family = "branchy"
+	FamilyDiamond Family = "diamond"
+	FamilyMoE     Family = "moe"
+)
+
+// Families lists every family in generation rotation order.
+func Families() []Family {
+	return []Family{FamilyLayered, FamilyBranchy, FamilyDiamond, FamilyMoE}
+}
+
+// Config parameterizes one generated graph.
+type Config struct {
+	// Family selects the structural family (default FamilyLayered).
+	Family Family
+	// Nodes is the target node count. Generators hit it exactly: structure
+	// is drawn first and the tail is padded or trimmed with chain nodes.
+	// Default 48; values beyond 1000 are supported (generation is O(V+E)).
+	Nodes int
+	// Seed derives every random draw via the splitmix64 derivation in
+	// internal/parallel. Two configs differing only in Seed generate
+	// independent graphs; identical configs generate identical graphs.
+	Seed int64
+	// MaxParamBytes caps the graph's total weight footprint (default
+	// 24 MiB), keeping most generated graphs placeable on the small dev
+	// packages so conformance sweeps exercise real plans, not just
+	// no-fit errors.
+	MaxParamBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Family == "" {
+		c.Family = FamilyLayered
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 48
+	}
+	if c.Nodes < 8 {
+		c.Nodes = 8 // the block structure of every family needs a few nodes
+	}
+	if c.MaxParamBytes <= 0 {
+		c.MaxParamBytes = 24 << 20
+	}
+	return c
+}
+
+// Generate builds one random graph from the config. The result always
+// passes graph.Validate; an internal inconsistency is a generator bug and
+// panics, matching the internal/workload builders.
+func Generate(cfg Config) *graph.Graph {
+	cfg = cfg.withDefaults()
+	var g *graph.Graph
+	switch cfg.Family {
+	case FamilyLayered:
+		g = genLayered(cfg)
+	case FamilyBranchy:
+		g = genBranchy(cfg)
+	case FamilyDiamond:
+		g = genDiamond(cfg)
+	case FamilyMoE:
+		g = genMoE(cfg)
+	default:
+		panic(fmt.Sprintf("randgraph: unknown family %q", cfg.Family))
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("randgraph: generator produced invalid graph %s: %v", g.Name(), err))
+	}
+	return g
+}
+
+// Sample returns the i-th graph of the deterministic stream named by seed:
+// families rotate and per-graph shape parameters are drawn from
+// parallel.Seed(seed, i). It is the shared scenario source of the
+// conformance sweep, mcmgen -what random, and the corpus augmentation.
+func Sample(seed int64, i int) *graph.Graph {
+	rng := parallel.Rng(seed, i)
+	fams := Families()
+	fam := fams[i%len(fams)]
+	nodes := 24 + rng.Intn(72) // 24..95: corpus-scale, cheap to evaluate
+	return Generate(Config{
+		Family: fam,
+		Nodes:  nodes,
+		Seed:   parallel.Seed(seed, i),
+	})
+}
+
+// gen carries shared generator state: the graph under construction, the RNG,
+// and the running parameter budget.
+type gen struct {
+	g           *graph.Graph
+	rng         *randSource
+	paramBudget int64
+	// paramScale multiplies the next weight draws; the MoE family uses it
+	// to concentrate parameters on the hot expert.
+	paramScale int64
+}
+
+// randSource wraps the derived RNG with the range helpers the generators
+// share.
+type randSource struct {
+	r *rand.Rand
+}
+
+func (s *randSource) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return s.r.Intn(n)
+}
+
+func (s *randSource) rangeInt(lo, hi int) int { return lo + s.intn(hi-lo+1) }
+
+func newGen(cfg Config, kind string) *gen {
+	name := fmt.Sprintf("rand-%s-%d-%d", kind, cfg.Nodes, uint64(cfg.Seed)%1_000_000)
+	return &gen{
+		g:           graph.New(name),
+		rng:         &randSource{r: parallel.Rng(cfg.Seed, 0)},
+		paramBudget: cfg.MaxParamBytes,
+		paramScale:  1,
+	}
+}
+
+// computeOps are the op kinds carrying real compute (weights + scaled
+// FLOPs in addOp), with draw weights that mirror the corpus mix (dense
+// contractions dominate).
+var computeOps = []graph.OpKind{
+	graph.OpMatMul, graph.OpMatMul, graph.OpConv, graph.OpConv,
+	graph.OpDepthwiseConv, graph.OpEmbedding,
+}
+
+// cheapOps are memory-bound glue op kinds (priced by output size alone).
+var cheapOps = []graph.OpKind{
+	graph.OpActivation, graph.OpElementwise, graph.OpNorm,
+	graph.OpPool, graph.OpSoftmax, graph.OpReduce,
+}
+
+// addOp appends one op with plausible costs for its kind, drawing output
+// size from the given bracket and charging weights against the parameter
+// budget. Inputs are wired with the producer's output bytes.
+func (n *gen) addOp(op graph.OpKind, outBytes int64, inputs ...int) int {
+	var flops float64
+	var params int64
+	switch op {
+	case graph.OpMatMul, graph.OpConv, graph.OpDepthwiseConv:
+		params = n.paramScale * int64(n.rng.rangeInt(16, 512)) << 10 // 16 KiB .. 512 KiB
+		if params > n.paramBudget {
+			params = n.paramBudget
+		}
+		n.paramBudget -= params
+		// FLOPs scale as (weights read) x (activations produced): a dense
+		// contraction touches every weight once per output tile.
+		flops = float64(params) * float64(outBytes) / 256
+	case graph.OpEmbedding:
+		params = int64(n.rng.rangeInt(64, 1024)) << 10
+		if params > n.paramBudget {
+			params = n.paramBudget
+		}
+		n.paramBudget -= params
+		flops = float64(outBytes)
+	case graph.OpInput, graph.OpConst, graph.OpReshape, graph.OpConcat,
+		graph.OpSplit, graph.OpOutput:
+		flops = 0
+	default: // activation / elementwise / norm / pool / softmax / reduce
+		flops = float64(outBytes)
+	}
+	id := n.g.AddNode(graph.Node{
+		Name:        fmt.Sprintf("%s%d", op, n.g.NumNodes()),
+		Op:          op,
+		FLOPs:       flops,
+		ParamBytes:  params,
+		OutputBytes: outBytes,
+	})
+	for _, in := range inputs {
+		n.g.MustAddEdge(in, id, n.g.Node(in).OutputBytes)
+	}
+	return id
+}
+
+// outBytes draws an activation size: 4 KiB .. 256 KiB, log-uniform-ish.
+func (n *gen) outBytes() int64 {
+	return int64(4<<n.rng.intn(7)) << 10
+}
+
+// pad extends the graph with a chain of cheap ops hanging off tail until the
+// node count reaches target, returning the new tail. Generators use it to
+// hit Config.Nodes exactly regardless of how block structure divided.
+func (n *gen) pad(tail, target int) int {
+	for n.g.NumNodes() < target {
+		op := cheapOps[n.rng.intn(len(cheapOps))]
+		if n.g.NumNodes() == target-1 {
+			op = graph.OpOutput
+		}
+		tail = n.addOp(op, n.g.Node(tail).OutputBytes, tail)
+	}
+	return tail
+}
+
+// genLayered builds L layers of W nodes; every node draws 1..3 predecessors
+// from the previous layer, so cross-layer wiring density varies per draw.
+func genLayered(cfg Config) *graph.Graph {
+	n := newGen(cfg, "layered")
+	width := n.rng.rangeInt(2, 6)
+	in := n.addOp(graph.OpInput, n.outBytes())
+	prev := []int{in}
+	// Reserve one node for the output and leave room for padding.
+	for n.g.NumNodes() < cfg.Nodes-width-1 {
+		layer := make([]int, 0, width)
+		for w := 0; w < width && n.g.NumNodes() < cfg.Nodes-1; w++ {
+			op := computeOps[n.rng.intn(len(computeOps))]
+			if n.rng.intn(3) == 0 {
+				op = cheapOps[n.rng.intn(len(cheapOps))]
+			}
+			fanin := n.rng.rangeInt(1, 3)
+			if fanin > len(prev) {
+				fanin = len(prev)
+			}
+			// Distinct predecessors: rotate from a random start.
+			start := n.rng.intn(len(prev))
+			inputs := make([]int, 0, fanin)
+			for k := 0; k < fanin; k++ {
+				inputs = append(inputs, prev[(start+k)%len(prev)])
+			}
+			layer = append(layer, n.addOp(op, n.outBytes(), inputs...))
+		}
+		prev = layer
+	}
+	tail := n.addOp(graph.OpConcat, n.outBytes(), prev...)
+	n.pad(tail, cfg.Nodes)
+	return n.g
+}
+
+// genBranchy builds inception-style blocks: split -> B parallel branch
+// chains -> concat, repeated until the budget is spent.
+func genBranchy(cfg Config) *graph.Graph {
+	n := newGen(cfg, "branchy")
+	tail := n.addOp(graph.OpInput, n.outBytes())
+	for n.g.NumNodes() < cfg.Nodes-2 {
+		branches := n.rng.rangeInt(2, 4)
+		depth := n.rng.rangeInt(1, 3)
+		need := branches*depth + 2 // split + branches + concat
+		if n.g.NumNodes()+need > cfg.Nodes {
+			break
+		}
+		split := n.addOp(graph.OpSplit, n.g.Node(tail).OutputBytes, tail)
+		ends := make([]int, 0, branches)
+		for b := 0; b < branches; b++ {
+			cur := split
+			for d := 0; d < depth; d++ {
+				op := computeOps[n.rng.intn(len(computeOps))]
+				cur = n.addOp(op, n.outBytes(), cur)
+			}
+			ends = append(ends, cur)
+		}
+		tail = n.addOp(graph.OpConcat, n.outBytes(), ends...)
+	}
+	n.pad(tail, cfg.Nodes)
+	return n.g
+}
+
+// genDiamond builds a pipeline of diamonds: each stage forks into two paths
+// of unequal random length that re-merge, so stage boundaries are natural
+// cut points but the arms tempt the partitioner into triangle violations.
+func genDiamond(cfg Config) *graph.Graph {
+	n := newGen(cfg, "diamond")
+	tail := n.addOp(graph.OpInput, n.outBytes())
+	for {
+		long := n.rng.rangeInt(2, 5)
+		short := n.rng.rangeInt(1, long)
+		need := long + short + 1 // two arms + merge
+		if n.g.NumNodes()+need > cfg.Nodes-1 {
+			break
+		}
+		a := tail
+		for d := 0; d < long; d++ {
+			a = n.addOp(computeOps[n.rng.intn(len(computeOps))], n.outBytes(), a)
+		}
+		b := tail
+		for d := 0; d < short; d++ {
+			b = n.addOp(cheapOps[n.rng.intn(len(cheapOps))], n.outBytes(), b)
+		}
+		tail = n.addOp(graph.OpElementwise, n.outBytes(), a, b)
+	}
+	n.pad(tail, cfg.Nodes)
+	return n.g
+}
+
+// genMoE builds mixture-of-experts layers: a router gates E expert chains
+// whose sizes are heavily skewed (one expert draws most of the parameter
+// budget), then a combine node merges them — the imbalanced-placement
+// scenario homogeneous corpora never produce.
+func genMoE(cfg Config) *graph.Graph {
+	n := newGen(cfg, "moe")
+	tail := n.addOp(graph.OpEmbedding, n.outBytes())
+	for {
+		experts := n.rng.rangeInt(2, 4)
+		need := 1 + experts*2 + 1 // router + experts (2 nodes each) + combine
+		if n.g.NumNodes()+need > cfg.Nodes-1 {
+			break
+		}
+		router := n.addOp(graph.OpSoftmax, n.g.Node(tail).OutputBytes, tail)
+		hot := n.rng.intn(experts) // the skewed (oversized) expert
+		ends := make([]int, 0, experts)
+		for e := 0; e < experts; e++ {
+			out := n.outBytes()
+			// Skew: the hot expert's projections draw 8x the weights,
+			// concentrating most of the budget on one placement decision.
+			if e == hot {
+				n.paramScale = 8
+			}
+			up := n.addOp(graph.OpMatMul, out, router)
+			down := n.addOp(graph.OpMatMul, out, up)
+			n.paramScale = 1
+			ends = append(ends, down)
+		}
+		tail = n.addOp(graph.OpElementwise, n.outBytes(), ends...)
+	}
+	n.pad(tail, cfg.Nodes)
+	return n.g
+}

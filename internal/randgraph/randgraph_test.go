@@ -1,0 +1,155 @@
+package randgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGenerateIsDeterministic pins the determinism contract: identical
+// configs generate byte-identical graphs (same fingerprint, same name),
+// and different seeds generate different graphs.
+func TestGenerateIsDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		cfg := Config{Family: fam, Nodes: 64, Seed: 7}
+		a, b := Generate(cfg), Generate(cfg)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s: same config generated different graphs", fam)
+		}
+		if a.Name() != b.Name() {
+			t.Errorf("%s: same config generated different names %q vs %q", fam, a.Name(), b.Name())
+		}
+		cfg.Seed = 8
+		if c := Generate(cfg); c.Fingerprint() == a.Fingerprint() {
+			t.Errorf("%s: different seeds generated the same graph", fam)
+		}
+	}
+}
+
+// TestGenerateHitsNodeCountExactly checks the generators honor Config.Nodes
+// across families and sizes, including the 1k+ scale the conformance sweep
+// and corpus augmentation rely on.
+func TestGenerateHitsNodeCountExactly(t *testing.T) {
+	for _, fam := range Families() {
+		for _, nodes := range []int{8, 31, 48, 200, 1024} {
+			g := Generate(Config{Family: fam, Nodes: nodes, Seed: 3})
+			if g.NumNodes() != nodes {
+				t.Errorf("%s nodes=%d: generated %d nodes", fam, nodes, g.NumNodes())
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s nodes=%d: invalid graph: %v", fam, nodes, err)
+			}
+		}
+	}
+}
+
+// TestGenerateRespectsParamBudget checks the weight cap that keeps generated
+// graphs placeable on the small dev packages.
+func TestGenerateRespectsParamBudget(t *testing.T) {
+	for _, fam := range Families() {
+		cfg := Config{Family: fam, Nodes: 512, Seed: 11, MaxParamBytes: 4 << 20}
+		if g := Generate(cfg); g.TotalParamBytes() > cfg.MaxParamBytes {
+			t.Errorf("%s: %d param bytes exceed the %d budget", fam, g.TotalParamBytes(), cfg.MaxParamBytes)
+		}
+	}
+}
+
+// TestFamilyStructure spot-checks each family's signature shape.
+func TestFamilyStructure(t *testing.T) {
+	// Branchy and MoE must contain nodes with fan-out > 1 (splits/routers)
+	// and fan-in > 1 (concat/combine); diamond must re-merge; layered must
+	// have cross-layer fan-in.
+	for _, fam := range []Family{FamilyBranchy, FamilyDiamond, FamilyMoE, FamilyLayered} {
+		g := Generate(Config{Family: fam, Nodes: 96, Seed: 5})
+		maxOut, maxIn := 0, 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if d := g.OutDegree(v); d > maxOut {
+				maxOut = d
+			}
+			if d := g.InDegree(v); d > maxIn {
+				maxIn = d
+			}
+		}
+		if maxOut < 2 {
+			t.Errorf("%s: no node fans out (max out-degree %d)", fam, maxOut)
+		}
+		if maxIn < 2 {
+			t.Errorf("%s: no node merges (max in-degree %d)", fam, maxIn)
+		}
+		if !strings.Contains(g.Name(), string(fam)) {
+			t.Errorf("%s: name %q does not carry the family", fam, g.Name())
+		}
+	}
+}
+
+// TestMoEIsSkewed checks the MoE family's defining property: parameter mass
+// concentrates on few nodes (the hot experts), unlike the uniform families.
+func TestMoEIsSkewed(t *testing.T) {
+	g := Generate(Config{Family: FamilyMoE, Nodes: 128, Seed: 9})
+	var max, total int64
+	for _, nd := range g.Nodes() {
+		total += nd.ParamBytes
+		if nd.ParamBytes > max {
+			max = nd.ParamBytes
+		}
+	}
+	if total == 0 {
+		t.Fatal("MoE graph has no parameters")
+	}
+	if frac := float64(max) / float64(total); frac < 0.05 {
+		t.Errorf("heaviest node holds only %.1f%% of parameters; expected a skewed expert", 100*frac)
+	}
+}
+
+// TestSampleStreamIsDeterministicAndDiverse pins the Sample stream the
+// conformance sweep reproduces violations from: element i is a pure function
+// of (seed, i), families rotate, and distinct indices differ.
+func TestSampleStreamIsDeterministicAndDiverse(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		a, b := Sample(42, i), Sample(42, i)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("Sample(42,%d) is not deterministic", i)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Sample(42,%d) invalid: %v", i, err)
+		}
+		if seen[a.Fingerprint()] {
+			t.Fatalf("Sample(42,%d) duplicates an earlier graph", i)
+		}
+		seen[a.Fingerprint()] = true
+		wantFam := Families()[i%len(Families())]
+		if !strings.Contains(a.Name(), string(wantFam)) {
+			t.Errorf("Sample(42,%d) = %q, want family %s", i, a.Name(), wantFam)
+		}
+	}
+	if g := Sample(43, 0); g.Fingerprint() == Sample(42, 0).Fingerprint() {
+		t.Error("different stream seeds produced the same first graph")
+	}
+}
+
+// TestGenerateUnknownFamilyPanics pins the generator-bug contract.
+func TestGenerateUnknownFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with an unknown family must panic")
+		}
+	}()
+	Generate(Config{Family: "nosuch", Nodes: 16, Seed: 1})
+}
+
+// TestGeneratedGraphsAreDAGsWithMonotoneEdges sanity-checks that generators
+// only add forward edges (node IDs are created in topological order), the
+// property the conformance harness relies on to build monotone partitions.
+func TestGeneratedGraphsAreDAGsWithMonotoneEdges(t *testing.T) {
+	for _, fam := range Families() {
+		g := Generate(Config{Family: fam, Nodes: 100, Seed: 13})
+		for _, e := range g.Edges() {
+			if e.From >= e.To {
+				t.Fatalf("%s: edge (%d,%d) is not ID-monotone", fam, e.From, e.To)
+			}
+			if e.Bytes <= 0 {
+				t.Fatalf("%s: edge (%d,%d) carries %d bytes", fam, e.From, e.To, e.Bytes)
+			}
+		}
+	}
+}

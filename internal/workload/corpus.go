@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mcmpart/internal/graph"
+	"mcmpart/internal/randgraph"
 )
 
 // Dataset is the pre-training corpus split exactly as in Sec. 5.1: 87 ML
@@ -41,6 +42,46 @@ func Corpus(seed int64) *Dataset {
 		Validation: graphs[66:71],
 		Test:       graphs[71:],
 	}
+}
+
+// AugmentedCorpus is Corpus plus an opt-in stream of generated random
+// graphs (internal/randgraph): random == 0 returns exactly Corpus(seed),
+// keeping the paper-faithful 87-model dataset the default. With random > 0,
+// the generated graphs randgraph.Sample(seed, 0..random-1) — layered,
+// branchy, diamond, and skewed-MoE families — are appended to the split:
+// every 16th to validation, every 8th of the rest to test, the bulk to
+// training, so pre-training consumes scenarios the hand-built families
+// never produce while the held-out sets stay representative.
+func AugmentedCorpus(seed int64, random int) *Dataset {
+	ds := Corpus(seed)
+	// The three splits alias one backing array; re-slice before appending
+	// so growing one split cannot overwrite its neighbor.
+	ds.Train = append([]*graph.Graph(nil), ds.Train...)
+	ds.Validation = append([]*graph.Graph(nil), ds.Validation...)
+	ds.Test = append([]*graph.Graph(nil), ds.Test...)
+	for i := 0; i < random; i++ {
+		g := randgraph.Sample(seed, i)
+		switch {
+		case i%16 == 15:
+			ds.Validation = append(ds.Validation, g)
+		case i%8 == 7:
+			ds.Test = append(ds.Test, g)
+		default:
+			ds.Train = append(ds.Train, g)
+		}
+	}
+	return ds
+}
+
+// AugmentedCorpusGraphs is CorpusGraphs plus random generated graphs from
+// the same opt-in stream AugmentedCorpus draws (unsplit; random == 0 is
+// exactly CorpusGraphs).
+func AugmentedCorpusGraphs(seed int64, random int) []*graph.Graph {
+	graphs := CorpusGraphs(seed)
+	for i := 0; i < random; i++ {
+		graphs = append(graphs, randgraph.Sample(seed, i))
+	}
+	return graphs
 }
 
 // CorpusGraphs generates the 87 corpus models (without splitting). Models

@@ -107,6 +107,15 @@ func BERT() *Graph { return workload.BERT() }
 // CorpusGraphs generates the 87-model synthetic corpus.
 func CorpusGraphs(seed int64) []*Graph { return workload.CorpusGraphs(seed) }
 
+// AugmentedCorpusGraphs generates the 87-model corpus plus `random`
+// deterministic scenario-fuzzing graphs (layered, branchy, diamond, and
+// skewed-MoE families from internal/randgraph) — the opt-in that lets
+// pre-training consume generated scenarios beyond the paper's hand-built
+// families. random == 0 is exactly CorpusGraphs(seed).
+func AugmentedCorpusGraphs(seed int64, random int) []*Graph {
+	return workload.AugmentedCorpusGraphs(seed, random)
+}
+
 // Method selects a partitioning strategy for Planner.Plan (and the
 // deprecated PartitionGraph).
 type Method string

@@ -403,7 +403,7 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 	usesPretrained := opts.Method == MethodZeroShot || opts.Method == MethodFineTune
 	if usesPretrained {
 		if installed == nil {
-			return nil, fmt.Errorf("mcmpart: method %q needs a pre-trained policy: call Pretrain or LoadPolicy first", opts.Method)
+			return nil, fmt.Errorf("%w: method %q needs Pretrain or LoadPolicy first", ErrPolicyRequired, opts.Method)
 		}
 		policyCfg = installed.Cfg
 	}

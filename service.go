@@ -18,6 +18,11 @@ var (
 	// ErrBusy is returned by Submit when the job queue is at capacity —
 	// the admission-control signal; callers shed load or retry later.
 	ErrBusy = errors.New("mcmpart: service queue is full")
+	// ErrPolicyRequired is returned by Planner.Plan and Service.Submit when
+	// a deployed-policy method (MethodZeroShot, MethodFineTune) is requested
+	// but no pre-trained policy is installed or available in the registry.
+	// Over HTTP it maps to 409 Conflict, and Client maps 409 back to it.
+	ErrPolicyRequired = errors.New("mcmpart: a pre-trained policy is required")
 )
 
 // ServiceOptions configure NewService. The zero value is a working
@@ -356,7 +361,7 @@ func (s *Service) ensurePolicy(method Method) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("mcmpart: method %q needs a pre-trained policy: Pretrain, LoadPolicy, or drop an artifact for this package into the policy directory", method)
+	return fmt.Errorf("%w: method %q needs Pretrain, LoadPolicy, or an artifact for this package in the policy directory", ErrPolicyRequired, method)
 }
 
 // Submit validates and admits one plan request, returning the Job tracking
