@@ -4,27 +4,98 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"mcmpart/internal/parallel"
 )
+
+// ClientOptions configure a Client's resilience behavior. The zero value
+// (and NewClient) keeps the historical semantics: no retries, every
+// failure surfaced immediately — retrying is opt-in because it multiplies
+// load exactly when the daemon says it is overloaded.
+type ClientOptions struct {
+	// MaxRetries is how many times a failed request is retried beyond the
+	// first attempt (0 disables retrying). Only idempotent-safe failures
+	// are retried: transport errors, corrupt response bodies, 429 (queue
+	// full), and 503 (draining or restarting) — every plan-API request is
+	// idempotent because plans are a pure function of the request (DESIGN.md
+	// §8), so re-sending can change cost, never the answer. Other HTTP
+	// errors (400, 404, 409) and context cancellation are never retried.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; each further retry doubles
+	// it, capped at MaxBackoff (0 = 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = 2s). A server-provided
+	// Retry-After overrides the computed backoff when longer.
+	MaxBackoff time.Duration
+	// Seed drives the deterministic backoff jitter (0 = 1). Two clients
+	// with different seeds desynchronize their retry storms; the same seed
+	// reproduces the exact retry schedule — the property the chaos tests
+	// pin.
+	Seed int64
+	// PollErrorBudget is how many consecutive failed polls WaitJob
+	// tolerates before giving up (0 = 3; negative = fail on the first,
+	// the pre-retry behavior). The budget resets on every successful
+	// poll, so a long wait survives any number of isolated blips but not
+	// a dead daemon.
+	PollErrorBudget int
+}
+
+// normalized resolves defaults.
+func (o ClientOptions) normalized() ClientOptions {
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	switch {
+	case o.PollErrorBudget < 0:
+		o.PollErrorBudget = 1
+	case o.PollErrorBudget == 0:
+		o.PollErrorBudget = 3
+	}
+	return o
+}
 
 // Client is a thin Go client for the mcmpartd HTTP API (see NewHTTPHandler
 // for the routes and wire types). A Client is safe for concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
+	opts ClientOptions
+	// retrySeq numbers retry sleeps across the client's lifetime, so the
+	// jitter stream never repeats within one client but is reproducible
+	// across runs with the same seed and call sequence.
+	retrySeq atomic.Int64
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
 // "http://localhost:7433"). httpClient may be nil for http.DefaultClient.
+// Retrying is off; see NewClientWithOptions.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
+	return NewClientWithOptions(baseURL, httpClient, ClientOptions{})
+}
+
+// NewClientWithOptions returns a client with explicit resilience options.
+func NewClientWithOptions(baseURL string, httpClient *http.Client, opts ClientOptions) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient, opts: opts.normalized()}
 }
 
 // BaseURL returns the daemon base URL the client talks to.
@@ -38,6 +109,10 @@ func (c *Client) BaseURL() string { return c.base }
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the parsed Retry-After header (0 when absent). The
+	// daemon sends it on 429 and 503; the client's retry loop honors it
+	// when it exceeds the computed backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -58,21 +133,86 @@ func (e *APIError) Is(target error) bool {
 	return false
 }
 
-// do issues one request and decodes the JSON response into out.
+// retryable classifies an error as idempotent-safe to retry: transport
+// and corrupt-body failures (the request may not even have arrived — and
+// if it did, re-planning the same key yields the identical plan), plus the
+// two explicitly transient daemon codes. Context cancellation belongs to
+// the caller and is never retried.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	// Anything that is not a daemon-shaped response: connection refused,
+	// reset mid-body, truncated or corrupt JSON.
+	return true
+}
+
+// do issues a request, retrying per the client's options, and decodes the
+// JSON response into out.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("mcmpart: encoding request: %w", err)
 		}
-		rd = bytes.NewReader(data)
+		payload = data
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, path, payload, out)
+		if err == nil || attempt >= c.opts.MaxRetries || !retryable(err) {
+			return err
+		}
+		if serr := c.sleepBackoff(ctx, attempt, err); serr != nil {
+			return serr
+		}
+	}
+}
+
+// sleepBackoff waits out one retry: exponential backoff with deterministic
+// seeded jitter, overridden by a longer server Retry-After, cut short by
+// ctx.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, cause error) error {
+	d := c.opts.BaseBackoff << attempt
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	// Jitter into [d/2, d): enough spread to break retry synchronization
+	// across clients, fully reproducible for a given seed and sequence.
+	z := uint64(parallel.Seed(c.opts.Seed, int(c.retrySeq.Add(1))))
+	frac := float64(z>>11) / float64(uint64(1)<<53)
+	d = d/2 + time.Duration(float64(d/2)*frac)
+	var apiErr *APIError
+	if errors.As(cause, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doOnce issues exactly one request.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -85,13 +225,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 		var er ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: er.Error}
+			apiErr.Message = er.Error
+		} else {
+			// Malformed (non-JSON) error body: keep the raw text so proxies'
+			// plain-text errors stay diagnosable.
+			apiErr.Message = strings.TrimSpace(string(data))
 		}
-		// Malformed (non-JSON) error body: keep the raw text so proxies'
-		// plain-text errors stay diagnosable.
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -100,6 +243,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return fmt.Errorf("mcmpart: decoding response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the form
+// the daemon sends); HTTP-date and garbage parse as 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Plan runs a synchronous, cache-aware plan on the daemon.
@@ -142,20 +298,34 @@ func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
 }
 
 // WaitJob polls a job until it is terminal (or ctx is done), returning the
-// final response. poll <= 0 defaults to 250ms.
+// final response. poll <= 0 defaults to 250ms. Isolated transient poll
+// failures (a dropped connection, a proxy blip) do not abort the wait:
+// WaitJob tolerates up to ClientOptions.PollErrorBudget consecutive
+// transient failures, resetting the budget on every successful poll.
+// Non-transient errors — an unknown job, a cancelled ctx — fail
+// immediately.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobResponse, error) {
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
 	}
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
+	consecutive := 0
 	for {
 		resp, err := c.JobStatus(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			consecutive = 0
+			if resp.State.Terminal() {
+				return resp, nil
+			}
+		case !retryable(err):
 			return nil, err
-		}
-		if resp.State.Terminal() {
-			return resp, nil
+		default:
+			consecutive++
+			if consecutive >= c.opts.PollErrorBudget {
+				return nil, fmt.Errorf("mcmpart: %d consecutive failed polls for job %s: %w", consecutive, id, err)
+			}
 		}
 		select {
 		case <-ctx.Done():

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mcmbench [-out BENCH_PR4.json] [-workers N] [-iters N] [-pr N]
+//	mcmbench [-out BENCH_PR6.json] [-workers N] [-iters N] [-pr N]
 //
 // Besides the worker-pool speedups, the report carries a transfer
 // benchmark — the samples each deployment mode (RL from scratch, zero-shot,
@@ -14,7 +14,10 @@
 // claim (Sec. 5.2/5.3) tracked PR over PR — and a service benchmark: the
 // latency of a cold plan vs its cached repeat through mcmpart.Service
 // (asserting bit-identical results) and the concurrent throughput of the
-// async job API.
+// async job API. A resilience block measures the fault-tolerant serving
+// core: an N-way identical cold burst with single-flight coalescing vs
+// without (same wall-clock question a thundering herd asks), and the
+// latency of a warm restart served from the persistent disk cache tier.
 //
 // Each benchmark runs the same seeded computation twice — once at
 // workers=1 and once at workers=N — reporting wall-clock for both, the
@@ -94,21 +97,46 @@ type ServiceBench struct {
 	CacheHitsSeen uint64  `json:"cache_hits_seen"`
 }
 
+// ResilienceBench reports the serving core's fault-tolerance economics:
+// what single-flight coalescing saves on an identical-request burst, and
+// what the persistent cache tier saves on a daemon restart.
+type ResilienceBench struct {
+	Package string `json:"package"`
+	Graph   string `json:"graph"`
+	// Burst: Requests identical cold plans submitted concurrently, with
+	// coalescing (one planner invocation, PlansExecuted pinned in the
+	// report) and without (every request plans).
+	Requests               int     `json:"requests"`
+	CoalescedMs            float64 `json:"coalesced_ms"`
+	CoalescedPlansExecuted uint64  `json:"coalesced_plans_executed"`
+	UncoalescedMs          float64 `json:"uncoalesced_ms"`
+	CoalescingSpeedup      float64 `json:"coalescing_speedup"`
+	BurstIdentical         bool    `json:"burst_identical"`
+	// Warm restart: the same plan cold, then through a fresh service over
+	// the same persistent cache directory.
+	RestartColdMs    float64 `json:"restart_cold_ms"`
+	RestartDiskHitMs float64 `json:"restart_disk_hit_ms"`
+	RestartSpeedup   float64 `json:"restart_speedup"`
+	RestartIdentical bool    `json:"restart_identical"`
+	RestartDiskHits  uint64  `json:"restart_disk_hits"`
+}
+
 // Report is the emitted JSON document.
 type Report struct {
-	PR       int            `json:"pr"`
-	CPUs     int            `json:"cpus"`
-	Workers  int            `json:"workers"`
-	Benches  []Bench        `json:"benchmarks"`
-	Transfer *TransferBench `json:"transfer,omitempty"`
-	Service  *ServiceBench  `json:"service,omitempty"`
+	PR         int              `json:"pr"`
+	CPUs       int              `json:"cpus"`
+	Workers    int              `json:"workers"`
+	Benches    []Bench          `json:"benchmarks"`
+	Transfer   *TransferBench   `json:"transfer,omitempty"`
+	Service    *ServiceBench    `json:"service,omitempty"`
+	Resilience *ResilienceBench `json:"resilience,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to benchmark against workers=1")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (best is kept)")
-	pr := flag.Int("pr", 4, "PR number recorded in the report")
+	pr := flag.Int("pr", 6, "PR number recorded in the report")
 	flag.Parse()
 
 	rep := Report{PR: *pr, CPUs: runtime.NumCPU(), Workers: *workers}
@@ -120,6 +148,7 @@ func main() {
 	)
 	rep.Transfer = benchTransfer()
 	rep.Service = benchService(*workers)
+	rep.Resilience = benchResilience(*workers)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -140,6 +169,11 @@ func main() {
 	fmt.Printf("service %s/%s: cold %.1f ms, cached %.3f ms (%.0fx, identical=%v); %d concurrent plans on %d workers: %.1f ms (%.1f plans/s, %d cache hits)\n",
 		sv.Package, sv.Graph, sv.ColdMs, sv.CachedMs, sv.Speedup, sv.CachedIdentical,
 		sv.Requests, sv.PoolWorkers, sv.ConcurrentMs, sv.PlansPerSec, sv.CacheHitsSeen)
+	rs := rep.Resilience
+	fmt.Printf("resilience %s/%s: %d-way cold burst coalesced %.1f ms (%d plans executed) vs uncoalesced %.1f ms (%.1fx, identical=%v); warm restart %.3f ms vs cold %.1f ms (%.0fx, identical=%v)\n",
+		rs.Package, rs.Graph, rs.Requests, rs.CoalescedMs, rs.CoalescedPlansExecuted,
+		rs.UncoalescedMs, rs.CoalescingSpeedup, rs.BurstIdentical,
+		rs.RestartDiskHitMs, rs.RestartColdMs, rs.RestartSpeedup, rs.RestartIdentical)
 	fmt.Println("wrote", *out)
 }
 
@@ -364,6 +398,103 @@ func benchService(workers int) *ServiceBench {
 	}
 	sb.CacheHitsSeen = svc.Stats().CacheHits - hitsBefore
 	return sb
+}
+
+// benchResilience measures the fault-tolerant serving core added with the
+// single-flight/persistent-cache work: the wall-clock of an N-way
+// identical cold burst with coalescing (one planner invocation shared by
+// all callers) vs without (a thundering herd, every caller planning), and
+// the latency of serving a plan after a "restart" — a fresh service over
+// the same persistent cache directory.
+func benchResilience(workers int) *ResilienceBench {
+	ctx := context.Background()
+	corpus := mcmpart.CorpusGraphs(1)
+	g := corpus[84]
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 40, Seed: 9}
+	const requests = 16
+
+	rb := &ResilienceBench{Package: "dev8", Graph: g.Name(), Requests: requests}
+
+	burst := func(svcOpts mcmpart.ServiceOptions) (float64, uint64, []*mcmpart.Result) {
+		svc, err := mcmpart.NewService(mcmpart.Dev8(), svcOpts)
+		if err != nil {
+			fatal(err)
+		}
+		defer svc.Close()
+		jobs := make([]*mcmpart.Job, 0, requests)
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			job, err := svc.Submit(ctx, mcmpart.PlanRequest{Graph: g, Options: opts})
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, job)
+		}
+		results := make([]*mcmpart.Result, 0, requests)
+		for _, job := range jobs {
+			res, err := job.Wait(ctx)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, res)
+		}
+		return float64(time.Since(start).Nanoseconds()) / 1e6, svc.Stats().PlansExecuted, results
+	}
+
+	coalescedMs, executed, coalescedResults := burst(mcmpart.ServiceOptions{Workers: workers, QueueDepth: 4096})
+	// The uncoalesced herd needs the memory cache off too, or all but the
+	// first request would ride the cache instead of planning.
+	uncoalescedMs, _, uncoalescedResults := burst(mcmpart.ServiceOptions{
+		Workers: workers, QueueDepth: 4096, DisableCoalescing: true, CacheEntries: -1,
+	})
+	rb.CoalescedMs = coalescedMs
+	rb.CoalescedPlansExecuted = executed
+	rb.UncoalescedMs = uncoalescedMs
+	if coalescedMs > 0 {
+		rb.CoalescingSpeedup = uncoalescedMs / coalescedMs
+	}
+	rb.BurstIdentical = true
+	for _, res := range append(coalescedResults, uncoalescedResults...) {
+		if res.Samples != coalescedResults[0].Samples || res.Throughput != coalescedResults[0].Throughput {
+			rb.BurstIdentical = false
+		}
+	}
+
+	// Warm restart through the persistent tier.
+	dir, err := os.MkdirTemp("", "mcmbench-plancache-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	first, err := mcmpart.NewService(mcmpart.Dev8(), mcmpart.ServiceOptions{Workers: workers, CacheDir: dir})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	cold, err := first.Plan(ctx, g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	rb.RestartColdMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	first.Close()
+
+	second, err := mcmpart.NewService(mcmpart.Dev8(), mcmpart.ServiceOptions{Workers: workers, CacheDir: dir})
+	if err != nil {
+		fatal(err)
+	}
+	defer second.Close()
+	start = time.Now()
+	warm, err := second.Plan(ctx, g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	rb.RestartDiskHitMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	if rb.RestartDiskHitMs > 0 {
+		rb.RestartSpeedup = rb.RestartColdMs / rb.RestartDiskHitMs
+	}
+	rb.RestartIdentical = cold.Samples == warm.Samples && cold.Throughput == warm.Throughput
+	rb.RestartDiskHits = second.Stats().DiskCacheHits
+	return rb
 }
 
 func fatal(err error) {

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	mcmpartd [-addr :7433] [-mcm dev8] [-policy-dir DIR] [-policy FILE]
-//	         [-pool-workers N] [-queue N] [-cache N] [-workers N]
+//	         [-pool-workers N] [-queue N] [-cache N] [-cache-dir DIR]
+//	         [-drain-timeout D] [-workers N]
 //
 // -mcm selects the package the daemon plans for: a preset name (dev4,
 // dev8, dev8bi, edge36, het4, mesh16) or a path to a package JSON
@@ -22,8 +23,17 @@
 // -pool-workers bounds how many plans run concurrently; -queue how many
 // admitted jobs may wait (further submissions get HTTP 429). -cache bounds
 // the plan cache in entries (0 keeps the default 256, negative disables).
-// -workers sets the process-wide compute worker default used inside each
-// plan (kernels, rollout collection).
+// -cache-dir adds a crash-safe persistent plan-cache tier under the
+// in-memory cache: completed plans are written through and survive daemon
+// restarts bit-identically. -workers sets the process-wide compute worker
+// default used inside each plan (kernels, rollout collection).
+//
+// On SIGINT/SIGTERM the daemon drains instead of dropping work: admission
+// stops immediately (new plans get 503 + Retry-After, so a load balancer
+// retries elsewhere), previously admitted jobs run to completion — or to
+// their best-so-far result if -drain-timeout (default 10s) expires first —
+// the disk cache tier is flushed, and only then does the HTTP server shut
+// down. Status and stats routes keep serving throughout the drain.
 //
 // A quick session against a running daemon:
 //
@@ -67,6 +77,8 @@ func run(ctx context.Context, args []string, ready chan<- string) int {
 	poolWorkers := fs.Int("pool-workers", 0, "concurrent plans (0 = process default)")
 	queueDepth := fs.Int("queue", 0, "job queue depth (0 = 4x pool workers)")
 	cacheEntries := fs.Int("cache", 0, "plan cache entries (0 = default 256, negative disables)")
+	cacheDir := fs.String("cache-dir", "", "persistent plan cache directory (created if missing); plans survive restarts")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a shutdown signal lets in-flight plans finish before cancelling them (best-so-far results are kept)")
 	workers := fs.Int("workers", runtime.NumCPU(), "compute workers per plan (kernels, rollouts)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +94,7 @@ func run(ctx context.Context, args []string, ready chan<- string) int {
 		Workers:      *poolWorkers,
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
 		PolicyDir:    *policyDir,
 	})
 	if err != nil {
@@ -107,6 +120,17 @@ func run(ctx context.Context, args []string, ready chan<- string) int {
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Drain before shutting the listener down: the server keeps
+		// answering during the drain — new plans with 503 + Retry-After,
+		// status/stats normally — so in-flight synchronous plans can
+		// deliver their responses and pollers can observe their jobs
+		// finishing. Then Shutdown waits out any remaining active requests.
+		log.Printf("mcmpartd: draining (timeout %s)", *drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := svc.Drain(drainCtx); err != nil {
+			log.Printf("mcmpartd: drain deadline hit, in-flight plans cancelled (best-so-far kept): %v", err)
+		}
+		cancelDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = server.Shutdown(shutdownCtx)

@@ -11,10 +11,36 @@ import (
 	"mcmpart"
 )
 
-// bootDaemon starts the daemon in-process via run() and returns a client
-// for it. Shutdown happens through context cancellation, exactly like
-// SIGTERM in production.
-func bootDaemon(t *testing.T, args []string) *mcmpart.Client {
+// daemonHandle is an in-process daemon under test control: its client,
+// plus explicit signal/wait hooks so tests can deliver the SIGTERM
+// equivalent mid-flight and observe the drain.
+type daemonHandle struct {
+	Client *mcmpart.Client
+	cancel context.CancelFunc
+	done   chan int
+}
+
+// Signal delivers the SIGTERM equivalent (cancels run's context) without
+// waiting — the daemon keeps serving while it drains.
+func (d *daemonHandle) Signal() { d.cancel() }
+
+// Wait blocks until the daemon exits and returns its exit code.
+func (d *daemonHandle) Wait(t *testing.T) int {
+	t.Helper()
+	select {
+	case code := <-d.done:
+		d.done <- code // keep rereadable for the cleanup path
+		return code
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not shut down")
+		return -1
+	}
+}
+
+// bootDaemonHandle starts the daemon in-process via run(). Shutdown
+// happens through context cancellation, exactly like SIGTERM in
+// production.
+func bootDaemonHandle(t *testing.T, args []string) *daemonHandle {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
@@ -28,18 +54,20 @@ func bootDaemon(t *testing.T, args []string) *mcmpart.Client {
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not become ready")
 	}
+	d := &daemonHandle{Client: mcmpart.NewClient("http://"+addr, nil), cancel: cancel, done: done}
 	t.Cleanup(func() {
-		cancel()
-		select {
-		case code := <-done:
-			if code != 0 {
-				t.Errorf("daemon exited with code %d", code)
-			}
-		case <-time.After(30 * time.Second):
-			t.Error("daemon did not shut down")
+		d.Signal()
+		if code := d.Wait(t); code != 0 {
+			t.Errorf("daemon exited with code %d", code)
 		}
 	})
-	return mcmpart.NewClient("http://"+addr, nil)
+	return d
+}
+
+// bootDaemon is the simple form for tests that only shut down at cleanup.
+func bootDaemon(t *testing.T, args []string) *mcmpart.Client {
+	t.Helper()
+	return bootDaemonHandle(t, args).Client
 }
 
 // TestDaemonEndToEndCachedZeroShot is the PR's acceptance test: boot

@@ -20,7 +20,10 @@ import (
 //
 // Errors are {"error": "..."} with a meaningful status code: 400 for
 // malformed requests, 404 for unknown jobs, 429 when admission sheds load
-// (ErrBusy), 503 when the service is closed.
+// (ErrBusy), 503 when the service is closed or draining. 429 and 503
+// carry a Retry-After header — both are transient by contract (a
+// draining daemon is typically being replaced), so clients with retry
+// enabled honor it and try again.
 
 // PlanOptionsWire is the JSON form of PlanOptions (Progress is not
 // serializable and has a polling equivalent in JobStatus).
@@ -93,6 +96,9 @@ type PlanResponse struct {
 	Result *ResultWire `json:"result"`
 	// Cached reports that the plan was served from the plan cache.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the plan shared another request's in-flight
+	// computation (single-flight) instead of planning itself.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// GraphFingerprint is the canonical fingerprint the cache keyed on.
 	GraphFingerprint string `json:"graph_fingerprint"`
 	// Error carries ctx-style partial failures (timeout with best-so-far).
@@ -149,9 +155,11 @@ func NewHTTPHandler(svc *Service) http.Handler {
 			writeServiceError(w, err)
 			return
 		}
+		status := job.Status()
 		resp := PlanResponse{
 			Result:           resultToWire(res),
-			Cached:           job.Status().Cached,
+			Cached:           status.Cached,
+			Coalesced:        status.Coalesced,
 			GraphFingerprint: req.Graph.Fingerprint(),
 		}
 		if err != nil {
@@ -212,6 +220,14 @@ func NewHTTPHandler(svc *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A draining service reports unhealthy so load balancers stop
+		// routing to it, while the still-open routes (job status, stats)
+		// keep serving the requests it already owns.
+		if svc.Stats().Draining {
+			w.Header().Set("Retry-After", retryAfterValue)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false, "draining": true})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	return mux
@@ -235,17 +251,26 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request) (PlanRequestWire,
 	return req, true
 }
 
+// retryAfterValue is the Retry-After advertised on 429 and 503: long
+// enough for a queue to drain a job or a replacement daemon to bind the
+// port, short enough that a retrying client converges quickly.
+const retryAfterValue = "1"
+
 // writeServiceError maps service errors to HTTP status codes. The mapping
 // is bidirectional: Client maps these codes back to the same sentinels, so
 // errors.Is works identically in-process and across the wire (pinned by the
-// table-driven tests in client_errors_test.go).
+// table-driven tests in client_errors_test.go). The two transient codes —
+// 429 (queue full) and 503 (draining/closed) — carry a Retry-After header
+// that Client surfaces as APIError.RetryAfter and the retry loop honors.
 func writeServiceError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrBusy):
 		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterValue)
 	case errors.Is(err, ErrServiceClosed):
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterValue)
 	case errors.Is(err, ErrPolicyRequired):
 		// A servable configuration issue, not a malformed request.
 		code = http.StatusConflict

@@ -1,0 +1,198 @@
+// Package faultinject provides injectable failure points for chaos testing
+// the serving stack. A failure point is a named site in production code —
+// the evaluator call inside a Service worker, a disk-cache read or write,
+// the HTTP response path — that consults the active fault set before doing
+// its real work. In production no set is active and the consultation is a
+// single atomic pointer load returning nil; in tests a deterministic seeded
+// schedule decides, per hit, whether the site fails and how (typed error,
+// panic, delay, truncated HTTP response).
+//
+// Determinism: each point keeps a hit counter, and whether hit i fires is a
+// pure function of (schedule seed, point, i) via the same splitmix64
+// derivation the parallel engine uses. Under concurrency the assignment of
+// hit indices to requests follows arrival order, so individual requests are
+// not reproducible — but the aggregate schedule (which fraction fails, the
+// exact firing pattern over the hit sequence) is, which is what the chaos
+// suite's assertions need.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injectable failure site.
+type Point string
+
+// The failure points wired into the serving stack.
+const (
+	// PointPlanEvaluate fires inside a Service worker just before the
+	// planner runs — an evaluator error or panic.
+	PointPlanEvaluate Point = "plan.evaluate"
+	// PointDiskWrite fires in the persistent plan cache's write path.
+	PointDiskWrite Point = "plancache.write"
+	// PointDiskRead fires in the persistent plan cache's read path.
+	PointDiskRead Point = "plancache.read"
+	// PointHTTPResponse fires in the HTTP middleware before the response is
+	// written — a slow and/or truncated response.
+	PointHTTPResponse Point = "http.response"
+)
+
+// Fault describes what happens when a point fires.
+type Fault struct {
+	// Err is returned from the failure point (wrapped by the site).
+	Err error
+	// Panic makes the site panic with Err instead of returning it.
+	Panic bool
+	// Delay is slept before the fault takes effect (and before a clean
+	// response, when neither Err nor Truncate is set — pure slowness).
+	Delay time.Duration
+	// Truncate makes the HTTP middleware cut the response short after a
+	// partial body, so the client sees a transport-level failure.
+	Truncate bool
+}
+
+// Rule schedules one fault at one point.
+type Rule struct {
+	Point Point
+	Fault Fault
+	// Prob fires the fault on each hit with this probability, decided by
+	// the seeded per-hit stream (0 disables probabilistic firing).
+	Prob float64
+	// Every fires the fault on every Nth hit (1-based: Every=3 fires hits
+	// 3, 6, 9, …). 0 disables periodic firing.
+	Every int
+}
+
+// Set is an immutable fault schedule plus mutable per-point hit counters.
+type Set struct {
+	seed  int64
+	rules map[Point][]Rule
+
+	mu    sync.Mutex
+	hits  map[Point]*uint64
+	fired map[Point]*uint64
+}
+
+// NewSet builds a schedule from seed and rules.
+func NewSet(seed int64, rules ...Rule) *Set {
+	s := &Set{
+		seed:  seed,
+		rules: make(map[Point][]Rule),
+		hits:  make(map[Point]*uint64),
+		fired: make(map[Point]*uint64),
+	}
+	for _, r := range rules {
+		s.rules[r.Point] = append(s.rules[r.Point], r)
+		if s.hits[r.Point] == nil {
+			s.hits[r.Point] = new(uint64)
+			s.fired[r.Point] = new(uint64)
+		}
+	}
+	return s
+}
+
+// splitmix64 is the finalizer the parallel engine derives per-item seeds
+// with; here it derives the per-hit firing stream.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// pointHash folds a point name into the stream seed.
+func pointHash(p Point) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-64 offset basis
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fire decides whether hit i at point p fires under rule r.
+func (s *Set) fire(r Rule, hit uint64) bool {
+	if r.Every > 0 && hit%uint64(r.Every) == 0 {
+		return true
+	}
+	if r.Prob > 0 {
+		z := splitmix64(uint64(s.seed) + 0x9e3779b97f4a7c15*(pointHash(r.Point)^hit))
+		u := float64(z>>11) / float64(1<<53)
+		return u < r.Prob
+	}
+	return false
+}
+
+// Fire records one hit at p and returns the fault to apply, or nil. The
+// first matching rule wins.
+func (s *Set) Fire(p Point) *Fault {
+	rules := s.rules[p]
+	if len(rules) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	*s.hits[p]++
+	hit := *s.hits[p]
+	s.mu.Unlock()
+	for _, r := range rules {
+		if s.fire(r, hit) {
+			s.mu.Lock()
+			*s.fired[p]++
+			s.mu.Unlock()
+			f := r.Fault
+			return &f
+		}
+	}
+	return nil
+}
+
+// Counts reports (hits, fired) for a point — the chaos suite's evidence
+// that faults actually flowed.
+func (s *Set) Counts(p Point) (hits, fired uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hits[p] == nil {
+		return 0, 0
+	}
+	return *s.hits[p], *s.fired[p]
+}
+
+// active is the process-wide fault set; nil in production.
+var active atomic.Pointer[Set]
+
+// Enable installs s as the process-wide fault set.
+func Enable(s *Set) { active.Store(s) }
+
+// Disable removes the active fault set.
+func Disable() { active.Store(nil) }
+
+// Fire consults the active set; nil (one atomic load) when none is active.
+func Fire(p Point) *Fault {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	return s.Fire(p)
+}
+
+// Check is the error-returning form production sites use: it fires p,
+// applies Delay, panics if the fault says so, and returns the fault error
+// (nil when the point does not fire or the fault carries no error).
+func Check(p Point) error {
+	f := Fire(p)
+	if f == nil {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic {
+		panic(fmt.Sprintf("faultinject: %s: %v", p, f.Err))
+	}
+	return f.Err
+}

@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Disable()
+	if f := Fire(PointPlanEvaluate); f != nil {
+		t.Fatalf("no active set must fire nothing, got %+v", f)
+	}
+	if err := Check(PointDiskWrite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryNthDeterministic(t *testing.T) {
+	errBoom := errors.New("boom")
+	s := NewSet(1, Rule{Point: PointDiskWrite, Fault: Fault{Err: errBoom}, Every: 3})
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, s.Fire(PointDiskWrite) != nil)
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+	hits, fired := s.Counts(PointDiskWrite)
+	if hits != 9 || fired != 3 {
+		t.Fatalf("counts = (%d, %d), want (9, 3)", hits, fired)
+	}
+}
+
+func TestProbabilisticScheduleIsSeedStable(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := NewSet(seed, Rule{Point: PointPlanEvaluate, Fault: Fault{Err: errors.New("x")}, Prob: 0.3})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire(PointPlanEvaluate) != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d times — schedule degenerate", fired, len(a))
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCheckPanics(t *testing.T) {
+	s := NewSet(1, Rule{Point: PointPlanEvaluate, Fault: Fault{Err: errors.New("dead"), Panic: true}, Every: 1})
+	Enable(s)
+	defer Disable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Check must panic when the fault says so")
+		}
+	}()
+	_ = Check(PointPlanEvaluate)
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	s := NewSet(3, Rule{Point: PointDiskRead, Fault: Fault{Err: errors.New("x")}, Prob: 0.5})
+	Enable(s)
+	defer Disable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = Fire(PointDiskRead)
+			}
+		}()
+	}
+	wg.Wait()
+	if hits, _ := s.Counts(PointDiskRead); hits != 800 {
+		t.Fatalf("hits = %d, want 800", hits)
+	}
+}
+
+func TestMiddlewareTruncates(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"ok": true}`))
+	})
+	srv := httptest.NewServer(Middleware(inner))
+	defer srv.Close()
+
+	// No active set: clean pass-through.
+	Disable()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != `{"ok": true}` {
+		t.Fatalf("clean response corrupted: %q, %v", body, err)
+	}
+
+	// Truncating fault: the client must observe a failure, not a short
+	// body silently accepted.
+	Enable(NewSet(1, Rule{
+		Point: PointHTTPResponse,
+		Fault: Fault{Truncate: true, Delay: 5 * time.Millisecond},
+		Every: 1,
+	}))
+	defer Disable()
+	resp, err = http.Get(srv.URL)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("truncated response must surface a client-side error")
+	}
+}

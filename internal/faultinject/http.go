@@ -1,0 +1,38 @@
+package faultinject
+
+import (
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an HTTP handler with the PointHTTPResponse failure
+// point. When the point fires with Truncate, the response is started (200,
+// a partial body) and then aborted mid-flight, so the client observes a
+// transport-level failure — the injected form of a connection cut by a
+// crashing peer or a dropped link. A Delay without Truncate serves the real
+// response slowly. With no active fault set the wrapper adds one atomic
+// load per request.
+func Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := Fire(PointHTTPResponse)
+		if f == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Truncate {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"result": {"partition": [0, 1,`))
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			// net/http recognizes ErrAbortHandler: the connection is torn
+			// down without a graceful close, so the client's body read fails.
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

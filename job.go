@@ -41,6 +41,9 @@ type JobStatus struct {
 	// Cached reports that the result was served from the plan cache
 	// without consuming a worker.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the request shared another request's
+	// in-flight computation (single-flight) instead of planning itself.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Samples and BestImprovement mirror the plan's Progress stream:
 	// evaluations consumed so far and the best-so-far improvement over the
 	// greedy baseline.
@@ -61,13 +64,14 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu      sync.Mutex
-	state   JobState
-	cached  bool
-	samples int
-	best    float64
-	result  *Result
-	err     error
+	mu        sync.Mutex
+	state     JobState
+	cached    bool
+	coalesced bool
+	samples   int
+	best      float64
+	result    *Result
+	err       error
 }
 
 func newJob(id string, ctx context.Context, cancel context.CancelFunc) *Job {
@@ -88,6 +92,7 @@ func (j *Job) Status() JobStatus {
 		ID:              j.id,
 		State:           j.state,
 		Cached:          j.cached,
+		Coalesced:       j.coalesced,
 		Samples:         j.samples,
 		BestImprovement: j.best,
 	}
@@ -126,6 +131,13 @@ func (j *Job) Wait(ctx context.Context) (*Result, error) {
 // best-so-far result. Cancel returns immediately; observe completion via
 // Wait or Done. Cancelling a terminal job is a no-op.
 func (j *Job) Cancel() { j.cancel() }
+
+// markCoalesced flags the job as riding another request's in-flight plan.
+func (j *Job) markCoalesced() {
+	j.mu.Lock()
+	j.coalesced = true
+	j.mu.Unlock()
+}
 
 // markRunning flips a queued job to running; it reports false if the job
 // already finished (e.g. cancelled while queued).

@@ -2,18 +2,24 @@ package mcmpart
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 
+	"mcmpart/internal/faultinject"
 	"mcmpart/internal/parallel"
+	"mcmpart/internal/plancache"
 	"mcmpart/internal/rl"
 )
 
 // Service errors.
 var (
 	// ErrServiceClosed is returned by Submit, Plan, and PlanBatch after
-	// Close.
+	// Close, and while the service is draining (BeginDrain/Drain). Over
+	// HTTP it maps to 503 with a Retry-After header — a load balancer's
+	// signal to route elsewhere and retry.
 	ErrServiceClosed = errors.New("mcmpart: service is closed")
 	// ErrBusy is returned by Submit when the job queue is at capacity —
 	// the admission-control signal; callers shed load or retry later.
@@ -23,11 +29,15 @@ var (
 	// but no pre-trained policy is installed or available in the registry.
 	// Over HTTP it maps to 409 Conflict, and Client maps 409 back to it.
 	ErrPolicyRequired = errors.New("mcmpart: a pre-trained policy is required")
+	// ErrPlanPanic wraps a panic recovered from a planning worker: the job
+	// fails with a typed error and the service keeps serving — one
+	// poisoned request must not take the node down.
+	ErrPlanPanic = errors.New("mcmpart: plan panicked")
 )
 
 // ServiceOptions configure NewService. The zero value is a working
 // configuration: process-default workers, a 4x queue, a 256-entry cache,
-// and no policy directory.
+// no disk tier, and no policy directory.
 type ServiceOptions struct {
 	// Workers is the number of plans that may run concurrently
 	// (0 = process default, see internal worker-pool default; negative is
@@ -37,9 +47,23 @@ type ServiceOptions struct {
 	// (0 = 4x Workers; negative is an error). When the queue is full,
 	// Submit returns ErrBusy.
 	QueueDepth int
-	// CacheEntries bounds the plan cache (0 = 256 entries; negative
-	// disables caching).
+	// CacheEntries bounds the in-memory plan cache (0 = 256 entries;
+	// negative disables caching).
 	CacheEntries int
+	// CacheDir, when set, opens a crash-safe persistent plan-cache tier
+	// under the in-memory LRU (created if missing). Completed plans are
+	// written through (temp file + fsync + atomic rename, versioned and
+	// checksummed), and in-memory misses consult the directory lazily, so
+	// plans survive restarts with O(1) startup cost. Corrupt, truncated,
+	// or stale-version entries are quarantined and logged, never served.
+	CacheDir string
+	// DisableCoalescing turns off single-flight request coalescing:
+	// concurrent requests that normalize to the same cache key each run
+	// their own plan instead of sharing one in-flight computation. The
+	// results are identical either way (plans are a pure function of the
+	// key); this exists for benchmarking the coalescing win and for
+	// debugging, not for production.
+	DisableCoalescing bool
 	// PolicyDir, when set, opens a directory-backed policy registry
 	// (created if missing). At startup — and lazily at plan time whenever
 	// no policy is installed — the service installs the newest registry
@@ -65,12 +89,31 @@ type ServiceStats struct {
 	CacheEntries  int    `json:"cache_entries"`
 	CacheCapacity int    `json:"cache_capacity"`
 
+	// PlansExecuted counts actual planner invocations; PlansCoalesced
+	// counts requests that shared another request's in-flight computation
+	// instead of planning. Under single-flight, N concurrent identical
+	// cold requests add 1 to the former and N-1 to the latter.
+	PlansExecuted  uint64 `json:"plans_executed"`
+	PlansCoalesced uint64 `json:"plans_coalesced"`
+
+	// Disk tier (all zero without ServiceOptions.CacheDir). Hits are
+	// in-memory misses served from disk; Quarantined counts entries set
+	// aside after failing verification — corruption detected, never served.
+	DiskCacheHits        uint64 `json:"disk_cache_hits"`
+	DiskCacheWrites      uint64 `json:"disk_cache_writes"`
+	DiskCacheWriteErrors uint64 `json:"disk_cache_write_errors"`
+	DiskCacheQuarantined uint64 `json:"disk_cache_quarantined"`
+
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsQueued    int    `json:"jobs_queued"`
 	JobsRunning   int    `json:"jobs_running"`
 	JobsDone      uint64 `json:"jobs_done"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCancelled uint64 `json:"jobs_cancelled"`
+
+	// Draining reports that admission is stopped (BeginDrain/Drain/Close)
+	// while previously admitted work finishes.
+	Draining bool `json:"draining"`
 
 	PolicyInstalled   bool   `json:"policy_installed"`
 	PolicyFingerprint string `json:"policy_fingerprint,omitempty"`
@@ -102,7 +145,7 @@ type PlanRequest struct {
 	// Options configure the plan exactly as in Planner.Plan. The Progress
 	// callback, when set, streams from the worker goroutine running the
 	// job; Job.Status additionally exposes the latest progress snapshot to
-	// pollers.
+	// pollers. Coalesced requests receive the leader's progress stream.
 	Options PlanOptions
 }
 
@@ -114,23 +157,40 @@ type PlanRequest struct {
 //   - a bounded LRU plan cache keyed by canonical graph fingerprint ×
 //     package fingerprint × policy fingerprint × normalized options, so
 //     repeated requests for the same model return instantly and
-//     bit-identically;
+//     bit-identically — optionally backed by a crash-safe disk tier
+//     (ServiceOptions.CacheDir) that survives restarts;
+//   - single-flight coalescing: concurrent requests for the same cache key
+//     share one in-flight computation (the leader plans; followers wait
+//     under their own contexts and receive deep copies of its result);
 //   - a policy registry (directory-backed) with automatic selection of the
 //     newest matching policy at plan time;
 //   - an async job API — Submit/Job.Wait/Status/Cancel and PlanBatch —
-//     backed by a bounded worker pool with fail-fast admission (ErrBusy).
+//     backed by a bounded worker pool with fail-fast admission (ErrBusy);
+//   - a drain protocol (BeginDrain/Drain) for graceful shutdown behind a
+//     load balancer, and panic containment: a panicking plan fails its job
+//     with ErrPlanPanic instead of crashing the process.
 //
 // All methods are safe for concurrent use. Close shuts the service down.
 type Service struct {
 	planner  *Planner
 	pkgFP    string
 	cache    *planCache
+	disk     *plancache.Store
 	registry *rl.Registry
 	pool     *parallel.Pool
+	coalesce bool
 
-	// root is the lifecycle context every job runs under; Close cancels it.
+	// root is the lifecycle context every job runs under; Close (and a
+	// Drain deadline) cancels it.
 	root     context.Context
 	shutdown context.CancelFunc
+
+	// jobsWG tracks every registered job from admission to its terminal
+	// transition — what Drain waits on.
+	jobsWG sync.WaitGroup
+	// finalOnce guards the release of workers and the disk-tier flush,
+	// shared by Close and Drain.
+	finalOnce sync.Once
 
 	// installedMu guards the provenance of the installed policy: the
 	// registry path it came from ("" when installed via Pretrain or
@@ -139,18 +199,51 @@ type Service struct {
 	installedPath string
 	installedFP   string
 
-	mu            sync.Mutex
-	closed        bool
-	seq           int
-	jobs          map[string]*Job
-	jobOrder      []string // insertion order, for terminal-job eviction
-	maxRetained   int
-	jobsSubmitted uint64
-	jobsDone      uint64
-	jobsFailed    uint64
-	jobsCancelled uint64
-	jobsQueued    int
-	jobsRunning   int
+	mu             sync.Mutex
+	closed         bool
+	draining       bool
+	seq            int
+	jobs           map[string]*Job
+	jobOrder       []string // insertion order, for terminal-job eviction
+	maxRetained    int
+	inflight       map[string]*flight
+	jobsSubmitted  uint64
+	jobsDone       uint64
+	jobsFailed     uint64
+	jobsCancelled  uint64
+	jobsQueued     int
+	jobsRunning    int
+	plansExecuted  uint64
+	plansCoalesced uint64
+	diskHits       uint64
+}
+
+// flight is one in-flight plan computation for one cache key: a leader job
+// that actually plans, plus followers coalesced onto it. All fields except
+// key/graph/graphFP are guarded by Service.mu.
+type flight struct {
+	key     string
+	graph   *Graph
+	graphFP string
+
+	leader     *Job
+	leaderOpts PlanOptions
+	followers  []*flightFollower
+	// done closes when the flight resolves (result, error, or abandoned
+	// after the last waiter cancelled) — the signal follower watchers and
+	// promotion exit on.
+	done chan struct{}
+}
+
+// flightFollower is one coalesced request waiting on a flight.
+type flightFollower struct {
+	job      *Job
+	progress ProgressFunc
+	// promoted marks a follower that took over as leader after the
+	// previous leader cancelled; detached marks one that cancelled while
+	// waiting. Either way it is no longer in the followers slice.
+	promoted bool
+	detached bool
 }
 
 // NewService builds a service for one package. If opts.PolicyDir holds a
@@ -186,10 +279,21 @@ func NewService(pkg *Package, opts ServiceOptions) (*Service, error) {
 		pkgFP:       rl.PackageFingerprint(pkg),
 		cache:       newPlanCache(cacheEntries),
 		pool:        parallel.NewPool(opts.Workers, opts.QueueDepth),
+		coalesce:    !opts.DisableCoalescing,
 		root:        root,
 		shutdown:    shutdown,
 		jobs:        make(map[string]*Job),
+		inflight:    make(map[string]*flight),
 		maxRetained: maxRetained,
+	}
+	if opts.CacheDir != "" {
+		disk, err := plancache.Open(opts.CacheDir, log.Printf)
+		if err != nil {
+			s.pool.Close()
+			shutdown()
+			return nil, err
+		}
+		s.disk = disk
 	}
 	if opts.PolicyDir != "" {
 		reg, err := rl.OpenRegistry(opts.PolicyDir)
@@ -320,6 +424,12 @@ func (s *Service) Stats() ServiceStats {
 	if s.registry != nil {
 		st.RegistryPolicies = len(s.registry.ForPackage(s.planner.Package()))
 	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.DiskCacheWrites = ds.Writes
+		st.DiskCacheWriteErrors = ds.WriteErrors
+		st.DiskCacheQuarantined = ds.Quarantined
+	}
 	s.mu.Lock()
 	st.JobsSubmitted = s.jobsSubmitted
 	st.JobsDone = s.jobsDone
@@ -327,6 +437,10 @@ func (s *Service) Stats() ServiceStats {
 	st.JobsCancelled = s.jobsCancelled
 	st.JobsQueued = s.jobsQueued
 	st.JobsRunning = s.jobsRunning
+	st.PlansExecuted = s.plansExecuted
+	st.PlansCoalesced = s.plansCoalesced
+	st.DiskCacheHits = s.diskHits
+	st.Draining = s.draining || s.closed
 	s.mu.Unlock()
 	return st
 }
@@ -370,9 +484,15 @@ func (s *Service) ensurePolicy(method Method) error {
 // admission only — the job itself runs under the service's lifecycle and
 // stops via Job.Cancel or Close.
 //
-// If the plan cache already holds the result, Submit returns an
-// already-terminal job carrying a copy of it (Status().Cached == true)
-// without consuming a worker.
+// If the plan cache (memory or disk tier) already holds the result, Submit
+// returns an already-terminal job carrying a copy of it (Status().Cached ==
+// true) without consuming a worker. If another request for the same cache
+// key is already in flight, the new job coalesces onto it
+// (Status().Coalesced == true): it waits for the leader's plan and receives
+// a deep copy of its result, without invoking the planner. Cancelling a
+// coalesced job detaches it without disturbing the leader; cancelling the
+// leader promotes a waiting follower to re-plan, so followers never lose
+// their result to someone else's cancellation.
 func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -394,30 +514,55 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 	graphFP := req.Graph.Fingerprint()
 	key := planCacheKey(graphFP, s.pkgFP, s.planner.PolicyFingerprint(), opts)
 	if res, ok := s.cache.get(key); ok {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return nil, ErrServiceClosed
+		return s.cachedJob(res)
+	}
+	// In-memory miss: consult the disk tier (outside s.mu — it does IO).
+	// A verified entry is promoted into the memory cache on the way out.
+	if s.disk != nil {
+		if res, ok := s.diskGet(key); ok {
+			s.cache.put(key, res)
+			return s.cachedJob(res)
 		}
-		job := s.registerJobLocked()
-		s.mu.Unlock()
-		s.finishJob(job, JobDone, res, nil, true)
-		return job, nil
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return nil, ErrServiceClosed
 	}
+	// Single-flight: coalesce onto an in-flight computation for this key.
+	if s.coalesce {
+		if fl, ok := s.inflight[key]; ok {
+			job := s.registerJobLocked()
+			job.markCoalesced()
+			f := &flightFollower{job: job, progress: opts.Progress}
+			fl.followers = append(fl.followers, f)
+			s.plansCoalesced++
+			s.mu.Unlock()
+			go s.watchFollower(fl, f)
+			return job, nil
+		}
+	}
 	job := s.registerJobLocked()
+	fl := &flight{
+		key:        key,
+		graph:      req.Graph,
+		graphFP:    graphFP,
+		leader:     job,
+		leaderOpts: opts,
+		done:       make(chan struct{}),
+	}
+	if s.coalesce {
+		s.inflight[key] = fl
+	}
 	s.jobsQueued++
-	s.mu.Unlock()
-
-	run := func() { s.runJob(job, req.Graph, graphFP, opts) }
-	if err := s.pool.TrySubmit(run); err != nil {
-		job.cancel() // release the job's child context
-		s.mu.Lock()
+	if err := s.pool.TrySubmit(func() { s.runFlight(fl) }); err != nil {
+		// Roll the admission back entirely: the caller gets the error, not
+		// a registered failed job. (Still under s.mu, so no follower can
+		// have attached to the aborted flight.)
+		if s.coalesce {
+			delete(s.inflight, key)
+		}
 		s.jobsQueued--
 		s.jobsSubmitted--
 		delete(s.jobs, job.id)
@@ -428,6 +573,8 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 			}
 		}
 		s.mu.Unlock()
+		job.cancel() // release the job's child context
+		s.jobsWG.Done()
 		switch {
 		case errors.Is(err, parallel.ErrPoolFull):
 			return nil, ErrBusy
@@ -437,13 +584,48 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 			return nil, err
 		}
 	}
+	s.mu.Unlock()
 	return job, nil
 }
 
+// cachedJob registers an already-terminal job carrying a cache hit.
+func (s *Service) cachedJob(res *Result) (*Job, error) {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	job := s.registerJobLocked()
+	s.mu.Unlock()
+	s.finishJob(job, JobDone, res, nil, true)
+	return job, nil
+}
+
+// diskGet reads and decodes one disk-tier entry; an envelope-valid entry
+// whose payload does not decode is quarantined like any other corruption.
+func (s *Service) diskGet(key string) (*Result, bool) {
+	payload, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var w ResultWire
+	if err := json.Unmarshal(payload, &w); err != nil {
+		s.disk.Quarantine(key, fmt.Errorf("undecodable payload: %w", err))
+		return nil, false
+	}
+	s.mu.Lock()
+	s.diskHits++
+	s.mu.Unlock()
+	return w.Result(), true
+}
+
 // registerJobLocked allocates, registers, and retention-evicts under s.mu.
+// Every registered job holds one jobsWG count until its terminal
+// transition (finishJob) or an admission rollback.
 func (s *Service) registerJobLocked() *Job {
 	s.seq++
 	s.jobsSubmitted++
+	s.jobsWG.Add(1)
 	jobCtx, cancel := context.WithCancel(s.root)
 	job := newJob(fmt.Sprintf("job-%06d", s.seq), jobCtx, cancel)
 	s.jobs[job.id] = job
@@ -468,20 +650,102 @@ func (s *Service) registerJobLocked() *Job {
 	return job
 }
 
-// runJob executes one admitted job on a pool worker. graphFP is the
-// canonical graph fingerprint computed at admission (the graph is not
-// mutated while the job runs, per the Submit contract).
-func (s *Service) runJob(job *Job, g *Graph, graphFP string, opts PlanOptions) {
+// watchFollower detaches a coalesced job whose own context is cancelled
+// before the flight resolves: the follower finishes cancelled, the flight
+// (and its leader) is untouched. Exits when the flight resolves.
+func (s *Service) watchFollower(fl *flight, f *flightFollower) {
+	select {
+	case <-f.job.ctx.Done():
+		s.mu.Lock()
+		detached := false
+		if !f.promoted && !f.detached {
+			f.detached = true
+			for i, other := range fl.followers {
+				if other == f {
+					fl.followers = append(fl.followers[:i], fl.followers[i+1:]...)
+					break
+				}
+			}
+			detached = true
+		}
+		s.mu.Unlock()
+		if detached {
+			s.finishJob(f.job, JobCancelled, nil, f.job.ctx.Err(), false)
+		}
+	case <-fl.done:
+		// Resolved (or abandoned): the resolver finished this job.
+	}
+}
+
+// runFlight executes one flight on a pool worker. The loop is the leader
+// hand-off protocol: if the current leader's plan is cancelled, it keeps
+// its best-so-far result and a waiting follower is promoted to re-plan in
+// this same worker slot — a follower never loses its result because some
+// other caller gave up. A successful plan resolves the whole flight; a
+// plan error is deterministic for the key (plans are a pure function of
+// it), so it resolves the flight too.
+func (s *Service) runFlight(fl *flight) {
 	s.mu.Lock()
 	s.jobsQueued--
 	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		job, opts := fl.leader, fl.leaderOpts
+		s.mu.Unlock()
+
+		// The key was built from the policy fingerprint observed at
+		// admission. If the installed policy changed between then and now,
+		// re-key so the stored entry describes the policy that actually
+		// planned; if it changes again *during* the plan, skip the store
+		// (fpBefore/fpAfter bracket Plan's own policy snapshot, so
+		// equality proves the key).
+		fpBefore := s.planner.PolicyFingerprint()
+		res, err := s.planOnce(fl, job, opts)
+		fpAfter := s.planner.PolicyFingerprint()
+
+		switch {
+		case err == nil:
+			if fpBefore == fpAfter {
+				key := planCacheKey(fl.graphFP, s.pkgFP, fpBefore, opts)
+				s.cache.put(key, res)
+				if s.disk != nil {
+					if payload, merr := json.Marshal(resultToWire(res)); merr == nil {
+						_ = s.disk.Put(key, payload) // logged + counted by the store
+					}
+				}
+			}
+			s.resolveFlight(fl, res, nil)
+			return
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Best-so-far semantics: a cancelled plan may still carry a
+			// result — it belongs to the cancelled leader only.
+			s.finishJob(job, JobCancelled, res, err, false)
+			if !s.promoteNext(fl) {
+				return // no waiters left; flight closed by promoteNext
+			}
+		default:
+			s.resolveFlight(fl, nil, err)
+			return
+		}
+	}
+}
+
+// planOnce runs one plan attempt for the flight's current leader,
+// containing panics (ErrPlanPanic) and injected evaluator faults. Progress
+// events fan out to the leader and every currently attached follower.
+func (s *Service) planOnce(fl *flight, job *Job, opts PlanOptions) (res *Result, err error) {
 	if job.ctx.Err() != nil || !job.markRunning() {
-		s.finishJob(job, JobCancelled, nil, job.ctx.Err(), false)
-		return
+		return nil, context.Canceled
 	}
 	s.mu.Lock()
 	s.jobsRunning++
+	s.plansExecuted++
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.jobsRunning--
+		s.mu.Unlock()
+	}()
 
 	userProgress := opts.Progress
 	opts.Progress = func(ev ProgressEvent) {
@@ -489,36 +753,81 @@ func (s *Service) runJob(job *Job, g *Graph, graphFP string, opts PlanOptions) {
 		if userProgress != nil {
 			userProgress(ev)
 		}
+		s.mu.Lock()
+		followers := append([]*flightFollower(nil), fl.followers...)
+		s.mu.Unlock()
+		for _, f := range followers {
+			f.job.recordProgress(ev)
+			if f.progress != nil {
+				f.progress(ev)
+			}
+		}
 	}
 
-	// The key was built from the policy fingerprint observed at admission.
-	// If the installed policy changed between then and now, re-key so the
-	// stored entry describes the policy that actually planned; if it
-	// changes again *during* the plan, skip the store (fpBefore/fpAfter
-	// bracket Plan's own policy snapshot, so equality proves the key).
-	fpBefore := s.planner.PolicyFingerprint()
-	res, err := s.planner.Plan(job.ctx, g, opts)
-	fpAfter := s.planner.PolicyFingerprint()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrPlanPanic, r)
+		}
+	}()
+	if ferr := faultinject.Check(faultinject.PointPlanEvaluate); ferr != nil {
+		return nil, fmt.Errorf("mcmpart: injected evaluator fault: %w", ferr)
+	}
+	return s.planner.Plan(job.ctx, fl.graph, opts)
+}
 
+// promoteNext hands the flight to the first still-waiting follower after
+// the leader cancelled, reporting whether there is a new leader to run. If
+// no followers remain, the flight is closed (removed from the in-flight
+// table so a later identical request plans fresh).
+func (s *Service) promoteNext(fl *flight) bool {
 	s.mu.Lock()
-	s.jobsRunning--
+	if len(fl.followers) == 0 {
+		if cur, ok := s.inflight[fl.key]; ok && cur == fl {
+			delete(s.inflight, fl.key)
+		}
+		close(fl.done)
+		s.mu.Unlock()
+		return false
+	}
+	next := fl.followers[0]
+	fl.followers = fl.followers[1:]
+	next.promoted = true
+	fl.leader = next.job
+	fl.leaderOpts.Progress = next.progress
+	s.mu.Unlock()
+	return true
+}
+
+// resolveFlight finishes the flight's leader and every attached follower
+// with the plan's outcome. Followers receive deep copies, so no caller can
+// corrupt another's result.
+func (s *Service) resolveFlight(fl *flight, res *Result, err error) {
+	s.mu.Lock()
+	if cur, ok := s.inflight[fl.key]; ok && cur == fl {
+		delete(s.inflight, fl.key)
+	}
+	leader := fl.leader
+	followers := fl.followers
+	fl.followers = nil
+	close(fl.done)
 	s.mu.Unlock()
 
-	switch {
-	case err == nil:
-		if fpBefore == fpAfter {
-			s.cache.put(planCacheKey(graphFP, s.pkgFP, fpBefore, opts), res)
+	if err == nil {
+		s.finishJob(leader, JobDone, res, nil, false)
+		for _, f := range followers {
+			s.finishJob(f.job, JobDone, cloneResult(res), nil, false)
 		}
-		s.finishJob(job, JobDone, res, nil, false)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Best-so-far semantics: a cancelled plan may still carry a result.
-		s.finishJob(job, JobCancelled, res, err, false)
-	default:
-		s.finishJob(job, JobFailed, nil, err, false)
+		return
+	}
+	s.finishJob(leader, JobFailed, nil, err, false)
+	for _, f := range followers {
+		s.finishJob(f.job, JobFailed, nil, err, false)
 	}
 }
 
-// finishJob finalizes a job and updates the terminal counters.
+// finishJob finalizes a job, updates the terminal counters, and releases
+// its drain count. Safe to call twice (only the transition that wins
+// counts).
 func (s *Service) finishJob(job *Job, state JobState, res *Result, err error, cached bool) {
 	if !job.finish(state, res, err, cached) {
 		return
@@ -533,6 +842,7 @@ func (s *Service) finishJob(job *Job, state JobState, res *Result, err error, ca
 		s.jobsCancelled++
 	}
 	s.mu.Unlock()
+	s.jobsWG.Done()
 }
 
 // Plan is the synchronous, cache-aware entry point: Submit + Wait. When ctx
@@ -587,19 +897,65 @@ func (s *Service) PlanBatch(ctx context.Context, reqs []PlanRequest) ([]*Result,
 	return results, nil
 }
 
+// BeginDrain stops admission — Submit, Plan, and PlanBatch return
+// ErrServiceClosed (503 + Retry-After over HTTP) — without disturbing
+// queued or running jobs. It is the first step of graceful shutdown; pair
+// with Drain, or poll Stats until JobsQueued and JobsRunning reach zero.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the service down: admission stops immediately,
+// then previously admitted jobs run to completion. If ctx expires first,
+// the remaining jobs are cancelled (keeping their best-so-far results,
+// like Close) and ctx's error is returned. Either way the workers are
+// released and the disk cache tier is flushed before Drain returns. Drain
+// and Close are both idempotent and safe to combine.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	drained := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.shutdown()
+		<-drained
+	}
+	s.finalize()
+	return err
+}
+
 // Close stops admission, cancels every queued and running job (their
 // best-so-far results are kept, mirroring plan cancellation), waits for the
-// workers to drain, and returns. Close is idempotent.
+// workers to drain, flushes the disk cache tier, and returns. Close is
+// idempotent. For graceful shutdown — let in-flight work finish first —
+// use Drain.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.pool.Close()
-		return nil
-	}
 	s.closed = true
 	s.mu.Unlock()
 	s.shutdown()
-	s.pool.Close()
+	s.finalize()
 	return nil
+}
+
+// finalize releases the workers and flushes the disk tier exactly once,
+// after which the service is fully closed.
+func (s *Service) finalize() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.pool.Close()
+	s.finalOnce.Do(func() {
+		if s.disk != nil {
+			_ = s.disk.Flush()
+		}
+	})
 }

@@ -1,0 +1,467 @@
+package mcmpart_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mcmpart"
+	"mcmpart/internal/faultinject"
+)
+
+// gatedOptions returns plan options whose Progress blocks at the first
+// sample until release is closed — the deterministic way to hold a plan
+// "in flight" while the test arranges concurrent requests around it.
+// started is closed once the plan is inside the planner.
+func gatedOptions(started, release chan struct{}) mcmpart.PlanOptions {
+	var once sync.Once
+	return mcmpart.PlanOptions{
+		Method:       mcmpart.MethodRandom,
+		SampleBudget: 30,
+		Seed:         11,
+		Progress: func(mcmpart.ProgressEvent) {
+			once.Do(func() { close(started) })
+			<-release
+		},
+	}
+}
+
+// TestSingleFlightCoalescing pins the tentpole contract: N concurrent
+// identical cold requests invoke the planner exactly once, every caller
+// gets a bit-identical result, and the stats account for 1 execution and
+// N-1 coalesced requests.
+func TestSingleFlightCoalescing(t *testing.T) {
+	const n = 16
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 2})
+	g := smallGraph(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	opts := gatedOptions(started, release)
+
+	leader, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the leader is inside the planner; the flight is registered
+
+	followerOpts := opts
+	followerOpts.Progress = nil
+	jobs := make([]*mcmpart.Job, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		job, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: followerOpts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !job.Status().Coalesced {
+			t.Fatalf("follower %d not coalesced", i)
+		}
+		jobs = append(jobs, job)
+	}
+	close(release)
+
+	want, err := leader.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, job := range jobs {
+		got, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("follower %d: %v", i, err)
+		}
+		if err := resultsBitIdentical(want, got); err != nil {
+			t.Fatalf("follower %d diverged from leader: %v", i, err)
+		}
+	}
+
+	st := svc.Stats()
+	if st.PlansExecuted != 1 {
+		t.Fatalf("PlansExecuted = %d, want 1 (the whole point of single-flight)", st.PlansExecuted)
+	}
+	if st.PlansCoalesced != n-1 {
+		t.Fatalf("PlansCoalesced = %d, want %d", st.PlansCoalesced, n-1)
+	}
+	if st.JobsDone != n {
+		t.Fatalf("JobsDone = %d, want %d", st.JobsDone, n)
+	}
+
+	// And the shared result is the same plan a lone request computes.
+	control := newTestService(t, mcmpart.ServiceOptions{})
+	res, err := control.Plan(context.Background(), g, followerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsBitIdentical(want, res); err != nil {
+		t.Fatalf("coalesced result differs from a lone plan: %v", err)
+	}
+}
+
+// TestCoalescingDisabled pins the DisableCoalescing escape hatch: identical
+// concurrent requests each invoke the planner.
+func TestCoalescingDisabled(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 2, DisableCoalescing: true, CacheEntries: -1})
+	g := smallGraph(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	opts := gatedOptions(started, release)
+
+	first, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	secondOpts := opts
+	secondOpts.Progress = nil
+	second, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: secondOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status().Coalesced {
+		t.Fatal("coalescing disabled, but the second request coalesced")
+	}
+	close(release)
+	a, err := first.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsBitIdentical(a, b); err != nil {
+		t.Fatalf("determinism broken without coalescing: %v", err)
+	}
+	if st := svc.Stats(); st.PlansExecuted != 2 || st.PlansCoalesced != 0 {
+		t.Fatalf("stats %+v: want 2 executions, 0 coalesced", st)
+	}
+}
+
+// TestCoalescedFollowerDetaches pins follower cancellation: a coalesced
+// request that gives up is finished cancelled without disturbing the
+// leader or the other followers.
+func TestCoalescedFollowerDetaches(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 1})
+	g := smallGraph(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leader, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: gatedOptions(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	plain := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 30, Seed: 11}
+	quitter, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stayer, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quitter.Cancel()
+	if _, err := quitter.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("detached follower error = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	want, err := leader.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("leader must be untouched by a follower detaching: %v", err)
+	}
+	got, err := stayer.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsBitIdentical(want, got); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.PlansExecuted != 1 || st.JobsCancelled != 1 || st.JobsDone != 2 {
+		t.Fatalf("stats %+v: want 1 executed, 1 cancelled, 2 done", st)
+	}
+}
+
+// TestLeaderCancellationPromotesFollower pins the hand-off: cancelling the
+// leader keeps its best-so-far result for the leader alone, and a waiting
+// follower re-plans from scratch — same seed, so the same answer a lone
+// request would have gotten.
+func TestLeaderCancellationPromotesFollower(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 1})
+	g := smallGraph(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leader, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: gatedOptions(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	plain := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 30, Seed: 11}
+	follower, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !follower.Status().Coalesced {
+		t.Fatal("second request did not coalesce")
+	}
+
+	leader.Cancel()
+	close(release) // let the leader's plan observe the cancellation
+
+	if _, err := leader.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	got, err := follower.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("promoted follower must complete: %v", err)
+	}
+
+	control := newTestService(t, mcmpart.ServiceOptions{})
+	want, err := control.Plan(context.Background(), g, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultsBitIdentical(want, got); err != nil {
+		t.Fatalf("promoted follower's re-plan diverged: %v", err)
+	}
+	if st := svc.Stats(); st.PlansExecuted != 2 {
+		t.Fatalf("PlansExecuted = %d, want 2 (leader's aborted run + follower's re-plan)", st.PlansExecuted)
+	}
+}
+
+// TestDiskCacheSurvivesRestart pins the persistent tier at the Service
+// layer: a plan computed by one service is served bit-identically — and
+// counted as a disk hit — by a fresh service over the same directory.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "plans")
+	g := smallGraph(t)
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 30, Seed: 5}
+
+	first := newTestService(t, mcmpart.ServiceOptions{CacheDir: dir})
+	want, err := first.Plan(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.Stats(); st.DiskCacheWrites != 1 {
+		t.Fatalf("DiskCacheWrites = %d, want 1", st.DiskCacheWrites)
+	}
+	first.Close() // flush, then "restart"
+
+	second := newTestService(t, mcmpart.ServiceOptions{CacheDir: dir})
+	job, err := second.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Status().Cached {
+		t.Fatal("restart plan not served from cache")
+	}
+	if err := resultsBitIdentical(want, got); err != nil {
+		t.Fatalf("disk-tier result not bit-identical: %v", err)
+	}
+	st := second.Stats()
+	if st.DiskCacheHits != 1 || st.PlansExecuted != 0 {
+		t.Fatalf("stats %+v: want 1 disk hit, 0 plans executed", st)
+	}
+}
+
+// TestPlanPanicContained pins panic containment: an injected evaluator
+// panic fails that job with ErrPlanPanic and the service keeps planning.
+func TestPlanPanicContained(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 1})
+	g := smallGraph(t)
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 20, Seed: 3}
+
+	faultinject.Enable(faultinject.NewSet(1, faultinject.Rule{
+		Point: faultinject.PointPlanEvaluate,
+		Fault: faultinject.Fault{Err: errors.New("poisoned request"), Panic: true},
+		Every: 1,
+	}))
+	t.Cleanup(faultinject.Disable)
+	if _, err := svc.Plan(context.Background(), g, opts); !errors.Is(err, mcmpart.ErrPlanPanic) {
+		t.Fatalf("err = %v, want ErrPlanPanic", err)
+	}
+	faultinject.Disable()
+
+	res, err := svc.Plan(context.Background(), g, opts)
+	if err != nil {
+		t.Fatalf("service did not survive the panic: %v", err)
+	}
+	if err := mcmpart.Validate(g, svc.Package(), res.Partition); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.JobsFailed != 1 || st.JobsDone != 1 {
+		t.Fatalf("stats %+v: want 1 failed, 1 done", st)
+	}
+}
+
+// TestDrainLetsInflightFinish pins the graceful half of the drain
+// contract: admission stops at once, the admitted job runs to a normal
+// completion, and Drain returns nil.
+func TestDrainLetsInflightFinish(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 1})
+	g := smallGraph(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	job, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: gatedOptions(started, release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	svc.BeginDrain()
+	if !svc.Stats().Draining {
+		t.Fatal("Stats().Draining = false after BeginDrain")
+	}
+	if _, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: mcmpart.PlanOptions{Method: mcmpart.MethodGreedy}}); !errors.Is(err, mcmpart.ErrServiceClosed) {
+		t.Fatalf("submit during drain: err = %v, want ErrServiceClosed", err)
+	}
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := job.Status(); st.State != mcmpart.JobDone {
+		t.Fatalf("in-flight job state after drain = %s, want done", st.State)
+	}
+}
+
+// TestDrainDeadlineCancelsBestSoFar pins the forced half: when the drain
+// deadline expires, remaining jobs are cancelled and keep their
+// best-so-far results, and Drain reports the deadline error.
+func TestDrainDeadlineCancelsBestSoFar(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 1})
+	g := smallGraph(t)
+	// A budget far too large to finish: the plan checks its context at
+	// every sample, so the drain deadline stops it promptly.
+	job, err := svc.Submit(context.Background(), mcmpart.PlanRequest{
+		Graph:   g,
+		Options: mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 50_000_000, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if err := svc.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	res, jerr := job.Result()
+	if job.Status().State != mcmpart.JobCancelled || !errors.Is(jerr, context.Canceled) {
+		t.Fatalf("job after forced drain: state=%s err=%v", job.Status().State, jerr)
+	}
+	if res == nil {
+		t.Fatal("forced drain must keep the best-so-far result")
+	}
+	if err := mcmpart.Validate(g, svc.Package(), res.Partition); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseRacingSubmissions hammers Close against concurrent
+// Submit/Plan/PlanBatch: every accepted job must reach a terminal state,
+// every rejected call must see ErrServiceClosed (or ErrBusy), and no
+// goroutines may leak.
+func TestCloseRacingSubmissions(t *testing.T) {
+	before := runtime.NumGoroutine()
+	svc := newTestService(t, mcmpart.ServiceOptions{Workers: 2, QueueDepth: 4})
+	g := smallGraph(t)
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 25, Seed: 6}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var jobs []*mcmpart.Job
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				job, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: opts})
+				if err == nil {
+					mu.Lock()
+					jobs = append(jobs, job)
+					mu.Unlock()
+				} else if !errors.Is(err, mcmpart.ErrServiceClosed) && !errors.Is(err, mcmpart.ErrBusy) {
+					t.Errorf("Submit: unexpected error %v", err)
+				}
+			case 1:
+				if _, err := svc.Plan(context.Background(), g, opts); err != nil &&
+					!errors.Is(err, mcmpart.ErrServiceClosed) && !errors.Is(err, mcmpart.ErrBusy) &&
+					!errors.Is(err, context.Canceled) {
+					t.Errorf("Plan: unexpected error %v", err)
+				}
+			default:
+				if _, err := svc.PlanBatch(context.Background(), []mcmpart.PlanRequest{
+					{Graph: g, Options: opts}, {Graph: g, Options: opts},
+				}); err != nil &&
+					!errors.Is(err, mcmpart.ErrServiceClosed) && !errors.Is(err, mcmpart.ErrBusy) &&
+					!errors.Is(err, context.Canceled) {
+					t.Errorf("PlanBatch: unexpected error %v", err)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let some submissions land first
+	svc.Close()
+	wg.Wait()
+
+	if _, err := svc.Submit(context.Background(), mcmpart.PlanRequest{Graph: g, Options: opts}); !errors.Is(err, mcmpart.ErrServiceClosed) {
+		t.Fatalf("post-close Submit: err = %v, want ErrServiceClosed", err)
+	}
+	for _, job := range jobs {
+		select {
+		case <-job.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("job %s never reached a terminal state after Close", job.ID())
+		}
+		if st := job.Status(); !st.State.Terminal() {
+			t.Fatalf("job %s state %s not terminal", job.ID(), st.State)
+		}
+	}
+
+	// Leak check: goroutine count settles back to (about) the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainThenCloseIdempotent pins that the shutdown paths compose: any
+// order and repetition of BeginDrain/Drain/Close is safe.
+func TestDrainThenCloseIdempotent(t *testing.T) {
+	svc := newTestService(t, mcmpart.ServiceOptions{})
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc.BeginDrain()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
