@@ -18,8 +18,8 @@ func planCacheKey(graphFP, pkgFP, policyFP string, opts PlanOptions) string {
 		// across policy installs is correct and desirable.
 		policyFP = ""
 	}
-	return fmt.Sprintf("g=%s|p=%s|w=%s|m=%s|b=%d|s=%d|sim=%t",
-		graphFP, pkgFP, policyFP, opts.Method, opts.SampleBudget, opts.Seed, opts.UseSimulator)
+	return fmt.Sprintf("g=%s|p=%s|w=%s|m=%s|b=%d|s=%d|sim=%t|a=%t",
+		graphFP, pkgFP, policyFP, opts.Method, opts.SampleBudget, opts.Seed, opts.UseSimulator, opts.SeedFromAnalytic)
 }
 
 // cloneResult deep-copies a Result so cached entries stay immutable no

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mcmbench [-out BENCH_PR6.json] [-workers N] [-iters N] [-pr N]
+//	mcmbench [-out BENCH_PR7.json] [-workers N] [-iters N] [-pr N]
 //
 // Besides the worker-pool speedups, the report carries a transfer
 // benchmark — the samples each deployment mode (RL from scratch, zero-shot,
@@ -18,6 +18,11 @@
 // core: an N-way identical cold burst with single-flight coalescing vs
 // without (same wall-clock question a thundering herd asks), and the
 // latency of a warm restart served from the persistent disk cache tier.
+// A scale block times the analytic fast-path partitioner (internal/analyze)
+// on 1k/10k/100k-node generated graphs against evaluator-driven search,
+// recording each plan's gap above its sound cost lower bound and the
+// samples search needs to match analytic quality with and without
+// SeedFromAnalytic.
 //
 // Each benchmark runs the same seeded computation twice — once at
 // workers=1 and once at workers=N — reporting wall-clock for both, the
@@ -37,12 +42,14 @@ import (
 	"time"
 
 	"mcmpart"
+	"mcmpart/internal/analyze"
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/experiments"
 	"mcmpart/internal/mat"
 	"mcmpart/internal/mcm"
 	"mcmpart/internal/parallel"
+	"mcmpart/internal/randgraph"
 	"mcmpart/internal/rl"
 	"mcmpart/internal/search"
 	"mcmpart/internal/workload"
@@ -130,13 +137,17 @@ type Report struct {
 	Transfer   *TransferBench   `json:"transfer,omitempty"`
 	Service    *ServiceBench    `json:"service,omitempty"`
 	Resilience *ResilienceBench `json:"resilience,omitempty"`
+	// Scale is the analytic fast path's scaling block: plan time and bound
+	// gap at 1k/10k/100k nodes, vs evaluator-driven search on the same
+	// graphs.
+	Scale []ScaleCase `json:"scale,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count to benchmark against workers=1")
 	iters := flag.Int("iters", 3, "timed repetitions per configuration (best is kept)")
-	pr := flag.Int("pr", 6, "PR number recorded in the report")
+	pr := flag.Int("pr", 7, "PR number recorded in the report")
 	flag.Parse()
 
 	rep := Report{PR: *pr, CPUs: runtime.NumCPU(), Workers: *workers}
@@ -149,6 +160,7 @@ func main() {
 	rep.Transfer = benchTransfer()
 	rep.Service = benchService(*workers)
 	rep.Resilience = benchResilience(*workers)
+	rep.Scale = benchScale()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -174,6 +186,11 @@ func main() {
 		rs.Package, rs.Graph, rs.Requests, rs.CoalescedMs, rs.CoalescedPlansExecuted,
 		rs.UncoalescedMs, rs.CoalescingSpeedup, rs.BurstIdentical,
 		rs.RestartDiskHitMs, rs.RestartColdMs, rs.RestartSpeedup, rs.RestartIdentical)
+	for _, sc := range rep.Scale {
+		fmt.Printf("scale %s/%dk nodes: generate %.0f ms, analytic plan %.1f ms (%d chips, %.1f%% above lower bound); random search budget %d: %.1f ms, samples to analytic quality seeded %d vs unseeded %d (0 = never)\n",
+			sc.Package, sc.Nodes/1000, sc.GenerateMs, sc.AnalyticMs, sc.ChipsUsed, sc.BoundGapPct,
+			sc.SearchBudget, sc.SearchMs, sc.SeededSamples, sc.UnseededSamples)
+	}
 	fmt.Println("wrote", *out)
 }
 
@@ -500,4 +517,110 @@ func benchResilience(workers int) *ResilienceBench {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcmbench:", err)
 	os.Exit(1)
+}
+
+// ScaleCase is one row of the scale block: one generated graph size, the
+// analytic fast path's wall-clock and bound gap, and the sample cost for
+// the search methods to match the analytic plan's quality with and without
+// analytic seeding.
+type ScaleCase struct {
+	Nodes   int    `json:"nodes"`
+	Package string `json:"package"`
+	Graph   string `json:"graph"`
+	// GenerateMs is graph generation; AnalyticMs is analyze.New + Plan —
+	// the full fast path, no evaluator in the loop.
+	GenerateMs float64 `json:"generate_ms"`
+	AnalyticMs float64 `json:"analytic_ms"`
+	// ChipsUsed is the analytic plan's chip count; BoundGapPct is how far
+	// its latency sits above its own sound lower bound (0% = provably
+	// optimal for this graph/package).
+	ChipsUsed   int     `json:"chips_used"`
+	BoundGapPct float64 `json:"bound_gap_pct"`
+	// AnalyticImprovement is the analytic plan's throughput normalized to
+	// the greedy baseline, through the public Planner.
+	AnalyticImprovement float64 `json:"analytic_improvement"`
+	// SearchMs is MethodRandom wall-clock at SearchBudget samples on the
+	// same graph — the path that needs an evaluator call per sample.
+	SearchMs     float64 `json:"search_ms"`
+	SearchBudget int     `json:"search_budget"`
+	// SeededSamples / UnseededSamples are the samples MethodRandom needed
+	// to first reach the analytic plan's improvement with and without
+	// SeedFromAnalytic (0 = not reached within the budget).
+	SeededSamples   int `json:"seeded_samples_to_analytic"`
+	UnseededSamples int `json:"unseeded_samples_to_analytic"`
+}
+
+// benchScale measures the analytic fast path across three graph scales.
+// Package choice keeps every scale genuinely multi-chip: the generated
+// weight budget (24 MiB per 1k nodes) overflows a single die of the chosen
+// package at every size.
+func benchScale() []ScaleCase {
+	cases := []struct {
+		nodes int
+		pkg   *mcm.Package
+	}{
+		{1_000, mcm.Dev8()},
+		{10_000, mcm.Edge36()},
+		{100_000, mcm.Edge36()},
+	}
+	const budget = 16
+	out := make([]ScaleCase, 0, len(cases))
+	for _, c := range cases {
+		t0 := time.Now()
+		g := randgraph.Generate(randgraph.Config{Family: randgraph.FamilyLayered, Nodes: c.nodes, Seed: 42})
+		genMs := float64(time.Since(t0)) / 1e6
+
+		t0 = time.Now()
+		an, err := analyze.New(g, c.pkg)
+		if err != nil {
+			fatal(err)
+		}
+		_, info, err := an.Plan(analyze.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		analyticMs := float64(time.Since(t0)) / 1e6
+		gap := 0.0
+		if info.LB.Total > 0 {
+			gap = (info.Latency/info.LB.Total - 1) * 100
+		}
+
+		pl, err := mcmpart.NewPlanner(c.pkg)
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		aRes, err := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodAnalytic})
+		if err != nil {
+			fatal(err)
+		}
+		t0 = time.Now()
+		unseeded, err := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: budget, Seed: 7})
+		if err != nil {
+			fatal(err)
+		}
+		searchMs := float64(time.Since(t0)) / 1e6
+		seeded, err := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: budget, Seed: 7, SeedFromAnalytic: true})
+		if err != nil {
+			fatal(err)
+		}
+		seededN, _ := seeded.SamplesToImprovement(aRes.Improvement)
+		unseededN, _ := unseeded.SamplesToImprovement(aRes.Improvement)
+
+		out = append(out, ScaleCase{
+			Nodes:               c.nodes,
+			Package:             c.pkg.Name,
+			Graph:               g.Name(),
+			GenerateMs:          genMs,
+			AnalyticMs:          analyticMs,
+			ChipsUsed:           info.Chips,
+			BoundGapPct:         gap,
+			AnalyticImprovement: aRes.Improvement,
+			SearchMs:            searchMs,
+			SearchBudget:        budget,
+			SeededSamples:       seededN,
+			UnseededSamples:     unseededN,
+		})
+	}
+	return out
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mcmgen -out dir [-seed 1] [-what corpus|bert|packages|random|all]
-//	       [-random-count 20]
+//	       [-random-count 20] [-random-nodes 0]
 //
 // It writes the 87-model pre-training corpus (train/validation/test
 // subdirectories matching the 66/5/16 split) and/or the 2138-node BERT
@@ -17,7 +17,10 @@
 // families) under random/. Graph i is exactly randgraph.Sample(seed, i) —
 // the same stream the conformance sweep and the corpus augmentation draw,
 // so a conformance violation's (seed, index) pair can be materialized to
-// disk with this command.
+// disk with this command. -random-nodes overrides the stream's own size
+// draw with an exact node count (families still rotate; the weight budget
+// scales with size, see internal/randgraph) — the knob behind the README's
+// 100k-node analytic fast-path walkthrough. 0 keeps the stream's sizes.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	what := flag.String("what", "all", "what to generate: corpus, bert, packages, random, all")
 	randomCount := flag.Int("random-count", 20, "how many random graphs -what random emits")
+	randomNodes := flag.Int("random-nodes", 0, "exact node count for -what random graphs (0 = stream's own size draw; scales to 100k+)")
 	flag.Parse()
 
 	if *what == "corpus" || *what == "all" {
@@ -76,6 +80,10 @@ func main() {
 		}
 		for i := 0; i < *randomCount; i++ {
 			g := randgraph.Sample(*seed, i)
+			if *randomNodes > 0 {
+				fam := randgraph.Families()[i%len(randgraph.Families())]
+				g = randgraph.Generate(randgraph.Config{Family: fam, Nodes: *randomNodes, Seed: *seed + int64(i)})
+			}
 			name := fmt.Sprintf("%03d-%s.json", i, g.Name())
 			if err := writeGraph(filepath.Join(dir, name), g); err != nil {
 				fatal(err)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mcmpart -graph model.json [-mcm edge36] [-method rl|random|sa|greedy|zeroshot|finetune]
+//	mcmpart -graph model.json [-mcm edge36] [-method rl|random|sa|greedy|analytic|zeroshot|finetune]
 //	        [-budget 200] [-seed 1] [-workers N] [-sim] [-dot out.dot]
 //	        [-pretrain N] [-policy in.policy.json] [-save-policy out.policy.json]
 //	        [-timeout 30s] [-progress]
@@ -11,6 +11,12 @@
 // The graph JSON format is produced by cmd/mcmgen (or any tool emitting
 // {"name", "nodes", "edges"}; see internal/graph). The chosen partition is
 // printed as JSON on stdout together with its evaluation.
+//
+// -method analytic selects the static-analysis fast path (internal/analyze):
+// a deterministic propagation-based partitioner that never calls an
+// evaluator, plans 100k-node graphs in tens of milliseconds, and reports a
+// sound cost lower bound alongside the plan. -budget is ignored; -seed does
+// not change the result.
 //
 // -mcm selects the target package: a preset name (dev4, dev8, dev8bi,
 // edge36, het4, mesh16) or a path to a package JSON descriptor (see
@@ -58,7 +64,7 @@ func main() {
 	graphPath := flag.String("graph", "", "path to the graph JSON (required; \"bert\" for the built-in BERT)")
 	mcmSpec := flag.String("mcm", "", "target package: preset name (dev4, dev8, dev8bi, edge36, het4, mesh16) or package JSON path")
 	pkgName := flag.String("package", "", "deprecated alias of -mcm")
-	method := flag.String("method", "rl", "partitioning method: greedy, random, sa, rl, zeroshot, finetune")
+	method := flag.String("method", "rl", "partitioning method: greedy, random, sa, rl, zeroshot, finetune, or analytic (evaluator-free static-analysis fast path; scales to 100k-node graphs, ignores -budget)")
 	budget := flag.Int("budget", 200, "sample budget for search methods")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(),

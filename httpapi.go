@@ -28,19 +28,21 @@ import (
 // PlanOptionsWire is the JSON form of PlanOptions (Progress is not
 // serializable and has a polling equivalent in JobStatus).
 type PlanOptionsWire struct {
-	Method       Method `json:"method,omitempty"`
-	SampleBudget int    `json:"sample_budget,omitempty"`
-	Seed         int64  `json:"seed,omitempty"`
-	UseSimulator bool   `json:"use_simulator,omitempty"`
+	Method           Method `json:"method,omitempty"`
+	SampleBudget     int    `json:"sample_budget,omitempty"`
+	Seed             int64  `json:"seed,omitempty"`
+	UseSimulator     bool   `json:"use_simulator,omitempty"`
+	SeedFromAnalytic bool   `json:"seed_from_analytic,omitempty"`
 }
 
 // Options converts the wire form to PlanOptions.
 func (w PlanOptionsWire) Options() PlanOptions {
 	return PlanOptions{
-		Method:       w.Method,
-		SampleBudget: w.SampleBudget,
-		Seed:         w.Seed,
-		UseSimulator: w.UseSimulator,
+		Method:           w.Method,
+		SampleBudget:     w.SampleBudget,
+		Seed:             w.Seed,
+		UseSimulator:     w.UseSimulator,
+		SeedFromAnalytic: w.SeedFromAnalytic,
 	}
 }
 

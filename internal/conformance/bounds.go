@@ -1,0 +1,122 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"mcmpart/internal/analyze"
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/graph"
+	"mcmpart/internal/hwsim"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/partition"
+)
+
+// boundTol is the relative tolerance the bound oracles allow for summation-
+// order floating-point differences between the analysis's prefix sums and
+// the evaluators' per-chip accumulations. It is far below any real
+// unsoundness (a broken bound is off by factors, not 1e-9).
+const boundTol = 1e-9
+
+// HardwareCostParams are the cost semantics of the hardware simulator —
+// its per-op efficiency table and dispatch overhead — in the form
+// analyze.LowerBoundWith consumes. Injecting them here keeps internal/analyze
+// free of any hwsim dependency (the fast path never simulates) while still
+// letting the sweep prove its bounds against the simulator.
+func HardwareCostParams() analyze.CostParams {
+	return analyze.CostParams{EffFor: hwsim.OpEff, OpOverhead: hwsim.DefaultOpOverhead}
+}
+
+// CheckBoundSoundness is the bound-soundness oracle: a claimed lower bound
+// must actually be below every cost the contract covers.
+//
+// For each sampled partition:
+//
+//   - static.Compute <= the analytical model's latency whenever that latency
+//     is finite (the Compute term claims soundness for every partition the
+//     model prices).
+//   - static.Total <= the analytical latency additionally for partitions
+//     whose per-chip weights fit their chips (the Transfer term's family).
+//   - hw.Total <= the noise-free simulator interval for every partition the
+//     simulator accepts.
+//
+// The bounds are explicit inputs, so tests can feed deliberately inflated
+// values and watch the oracle fail.
+func CheckBoundSoundness(scenario string, g *graph.Graph, pkg *mcm.Package,
+	parts []partition.Partition, static, hw analyze.Bounds,
+	model *costmodel.Model, sim *hwsim.Simulator) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{Oracle: "bound", Scenario: scenario, Detail: fmt.Sprintf(format, args...)})
+	}
+	for i, p := range parts {
+		if lat := model.Latency(g, p); lat > 0 && !isInf(lat) {
+			if static.Compute > lat*(1+boundTol) {
+				add("partition %d: Compute bound %g > analytical latency %g", i, static.Compute, lat)
+			}
+			if weightsFit(g, pkg, p) && static.Total > lat*(1+boundTol) {
+				add("partition %d: Total bound %g > analytical latency %g of a weight-fitting partition",
+					i, static.Total, lat)
+			}
+		}
+		if r := sim.Evaluate(g, p); r.Valid {
+			if hw.Total > r.Interval*(1+boundTol) {
+				add("partition %d: hardware bound %g > simulated interval %g", i, hw.Total, r.Interval)
+			}
+		}
+	}
+	return out
+}
+
+// CheckAnalyticPlan is the analytic-plan oracle: the fast path either
+// reports infeasibility (conforming — the sweep's graphs do not all fit
+// every package) or returns a plan that is ValidateOn-clean, whose reported
+// latency is exactly the analytical model's, and that never undercuts its
+// own lower bound.
+func CheckAnalyticPlan(scenario string, g *graph.Graph, pkg *mcm.Package,
+	a *analyze.Analysis, model *costmodel.Model) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{Oracle: "bound", Scenario: scenario, Detail: fmt.Sprintf(format, args...)})
+	}
+	p, info, err := a.Plan(analyze.Options{})
+	if errors.Is(err, analyze.ErrInfeasible) {
+		return nil
+	}
+	if err != nil {
+		add("analytic plan failed with an untyped error: %v", err)
+		return out
+	}
+	if verr := p.ValidateOn(g, pkg); verr != nil {
+		add("analytic plan fails ValidateOn: %v", verr)
+	}
+	lat := model.Latency(g, p)
+	if diff := info.Latency - lat; diff > boundTol*lat || diff < -boundTol*lat {
+		add("analytic plan reports latency %g but the model prices it %g", info.Latency, lat)
+	}
+	if info.LB.Total > lat*(1+boundTol) {
+		add("analytic plan latency %g undercuts its own lower bound %g", lat, info.LB.Total)
+	}
+	return out
+}
+
+// weightsFit reports whether every chip's summed weights fit its SRAM — the
+// partition family the Transfer bound term covers.
+func weightsFit(g *graph.Graph, pkg *mcm.Package, p partition.Partition) bool {
+	loads := make([]int64, pkg.Chips)
+	for _, nd := range g.Nodes() {
+		c := p[nd.ID]
+		if c < 0 || c >= pkg.Chips {
+			return false
+		}
+		loads[c] += nd.ParamBytes
+	}
+	for c, w := range loads {
+		if w > pkg.ChipSRAM(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func isInf(f float64) bool { return f > 1e300 }

@@ -1,0 +1,80 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcmpart/internal/analyze"
+	"mcmpart/internal/costmodel"
+	"mcmpart/internal/hwsim"
+	"mcmpart/internal/mcm"
+	"mcmpart/internal/randgraph"
+)
+
+// TestBoundSoundnessCleanOnRealStack runs the bound oracles on the real
+// analysis/model/simulator triple across presets and generated graphs; the
+// soundness contract says there must be no violations.
+func TestBoundSoundnessCleanOnRealStack(t *testing.T) {
+	for _, preset := range []string{"dev4", "dev8", "dev8bi", "het4", "mesh16"} {
+		pkg, err := mcm.Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := costmodel.New(pkg)
+		sim := hwsim.New(pkg, hwsim.Options{Seed: 1})
+		for gi := 0; gi < 8; gi++ {
+			g := randgraph.Sample(13, gi)
+			a, err := analyze.New(g, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			static := a.LowerBound()
+			hw := a.LowerBoundWith(HardwareCostParams())
+			rng := rand.New(rand.NewSource(int64(gi)))
+			parts := SamplePartitions(g, pkg.Chips, rng, 9)
+			if vs := CheckBoundSoundness("t", g, pkg, parts, static, hw, model, sim); len(vs) != 0 {
+				t.Errorf("%s graph %d: %v", preset, gi, vs)
+			}
+			if vs := CheckAnalyticPlan("t", g, pkg, a, model); len(vs) != 0 {
+				t.Errorf("%s graph %d: %v", preset, gi, vs)
+			}
+		}
+	}
+}
+
+// TestBrokenBoundFailsSoundness feeds the oracle deliberately inflated
+// bounds — 10x the real ones — and checks it reports the unsoundness. If a
+// future bound change over-tightens past the true optimum, this is the shape
+// of failure the sweep will surface.
+func TestBrokenBoundFailsSoundness(t *testing.T) {
+	pkg := mcm.Dev8()
+	model := costmodel.New(pkg)
+	sim := hwsim.New(pkg, hwsim.Options{Seed: 1})
+	broke := 0
+	for gi := 0; gi < 6; gi++ {
+		g := randgraph.Sample(13, gi)
+		a, err := analyze.New(g, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static := a.LowerBound()
+		static.Compute *= 10
+		static.Transfer *= 10
+		static.Total *= 10
+		hw := a.LowerBoundWith(HardwareCostParams())
+		hw.Compute *= 10
+		hw.Transfer *= 10
+		hw.Total *= 10
+		parts := SamplePartitions(g, pkg.Chips, rand.New(rand.NewSource(int64(gi))), 9)
+		vs := CheckBoundSoundness("broken", g, pkg, parts, static, hw, model, sim)
+		if len(vs) > 0 {
+			broke++
+			if vs[0].Oracle != "bound" {
+				t.Fatalf("violation oracle = %q, want bound", vs[0].Oracle)
+			}
+		}
+	}
+	if broke == 0 {
+		t.Fatal("oracle accepted 10x-inflated lower bounds on every graph; it cannot catch an unsound bound")
+	}
+}

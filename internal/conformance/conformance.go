@@ -20,6 +20,13 @@
 //     or a typed error; never a silently-invalid plan.
 //  4. Cache identity — a Service cache hit is bit-identical to the cold
 //     plan it replays (float64s compared by bits, not tolerance).
+//  5. Bound soundness — the static analysis's cost lower bounds
+//     (internal/analyze) stay below the analytical latency of every sampled
+//     partition in their contract's family, and below the noise-free
+//     simulated interval of every partition the simulator accepts.
+//  6. Analytic plan certificate — the analytic fast path's plan is
+//     ValidateOn-clean, priced exactly as the cost model prices it, and
+//     never undercuts its own lower bound.
 //
 // Every check is a standalone function over explicit inputs, so a test can
 // feed a deliberately broken environment and watch the oracle fail — the
@@ -44,7 +51,7 @@ import (
 // violation is reproducible in isolation.
 type Violation struct {
 	// Oracle names the broken check ("legality", "monotonicity", "plan",
-	// "cache").
+	// "cache", "bound").
 	Oracle string `json:"oracle"`
 	// Scenario identifies the case: package, graph (with its seed), method.
 	Scenario string `json:"scenario"`

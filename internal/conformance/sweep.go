@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"mcmpart"
+	"mcmpart/internal/analyze"
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/hwsim"
 	"mcmpart/internal/parallel"
@@ -24,11 +25,11 @@ type SweepConfig struct {
 	// Presets are package preset names (default: all six).
 	Presets []string
 	// GraphsPerPreset is how many randgraph.Sample graphs each package sees
-	// (default 28 — with the six presets and three methods that is 504
+	// (default 28 — with the six presets and four methods that is 672
 	// plan cases).
 	GraphsPerPreset int
 	// Methods are the planning methods swept per graph (default greedy,
-	// random, sa — the methods that need no pre-trained policy).
+	// random, sa, analytic — the methods that need no pre-trained policy).
 	Methods []mcmpart.Method
 	// SampleBudget bounds each plan's search (default 16; greedy ignores it).
 	SampleBudget int
@@ -48,7 +49,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 		c.GraphsPerPreset = 28
 	}
 	if len(c.Methods) == 0 {
-		c.Methods = []mcmpart.Method{mcmpart.MethodGreedy, mcmpart.MethodRandom, mcmpart.MethodSA}
+		c.Methods = []mcmpart.Method{mcmpart.MethodGreedy, mcmpart.MethodRandom, mcmpart.MethodSA, mcmpart.MethodAnalytic}
 	}
 	if c.SampleBudget == 0 {
 		c.SampleBudget = 16
@@ -153,9 +154,20 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 			// partition stream derives from (seed, preset index, graph
 			// index) so every case is independently reproducible.
 			rng := parallel.Rng(parallel.Seed(cfg.Seed, pi), gi)
-			for _, p := range SamplePartitions(g, pkg.Chips, rng, cfg.PartitionsPerGraph) {
+			parts := SamplePartitions(g, pkg.Chips, rng, cfg.PartitionsPerGraph)
+			for _, p := range parts {
 				pr.Checks++
 				pr.Violations = append(pr.Violations, CheckLegalityAgreement(scenario, g, pkg, p, model, sim)...)
+			}
+			// Oracles 5+6: bound soundness over the same partition samples,
+			// and the analytic fast path's plan certificate.
+			if an, aerr := analyze.New(g, pkg); aerr == nil {
+				static := an.LowerBound()
+				hw := an.LowerBoundWith(HardwareCostParams())
+				pr.Checks++
+				pr.Violations = append(pr.Violations, CheckBoundSoundness(scenario, g, pkg, parts, static, hw, model, sim)...)
+				pr.Checks++
+				pr.Violations = append(pr.Violations, CheckAnalyticPlan(scenario, g, pkg, an, model)...)
 			}
 			// Oracles 3+4 per method: cold plan validity, cached replay
 			// identity.

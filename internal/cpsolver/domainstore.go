@@ -1,0 +1,63 @@
+package cpsolver
+
+// DomainStore is a standalone trail-backed array of chip domains — the
+// solver's trailDomain machinery factored into a reusable piece. The full
+// Solver couples domains to its adjacency counters and no-skip sweep, which
+// is exactly right for sample-by-sample solving but O(|V|) per propagation
+// drain; the analytic fast path (internal/analyze) instead runs whole-array
+// tightening sweeps and only needs the trail part: speculate under a mark,
+// detect wipeout, and undo in O(changes).
+//
+// A DomainStore is not safe for concurrent use.
+type DomainStore struct {
+	doms  []Domain
+	trail []domTrailEntry
+}
+
+type domTrailEntry struct {
+	v   int32
+	old Domain
+}
+
+// NewDomainStore returns a store of n domains, each initialized to chips
+// 0..chips-1.
+func NewDomainStore(n, chips int) *DomainStore {
+	ds := &DomainStore{doms: make([]Domain, n)}
+	full := fullDomain(chips)
+	for i := range ds.doms {
+		ds.doms[i] = full
+	}
+	return ds
+}
+
+// Len returns the number of domains.
+func (ds *DomainStore) Len() int { return len(ds.doms) }
+
+// Domain returns the current domain of variable v.
+func (ds *DomainStore) Domain(v int) Domain { return ds.doms[v] }
+
+// Mark returns a trail position to undo back to.
+func (ds *DomainStore) Mark() int { return len(ds.trail) }
+
+// UndoTo restores every domain changed since the mark, newest first.
+func (ds *DomainStore) UndoTo(mark int) {
+	for i := len(ds.trail) - 1; i >= mark; i-- {
+		e := ds.trail[i]
+		ds.doms[e.v] = e.old
+	}
+	ds.trail = ds.trail[:mark]
+}
+
+// Restrict intersects variable v's domain with allowed, recording the old
+// value on the trail when it changes. It reports whether the domain changed
+// and whether it is now empty (a wipeout the caller should undo from).
+func (ds *DomainStore) Restrict(v int, allowed Domain) (changed, empty bool) {
+	old := ds.doms[v]
+	nd := old & allowed
+	if nd == old {
+		return false, nd == 0
+	}
+	ds.trail = append(ds.trail, domTrailEntry{v: int32(v), old: old})
+	ds.doms[v] = nd
+	return true, nd == 0
+}

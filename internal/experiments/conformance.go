@@ -8,7 +8,7 @@ import (
 
 // ConformanceConfig parameterizes the conformance sweep experiment: the
 // scenario-fuzzing battery of internal/conformance run across every package
-// preset. Quick scale covers 6 presets x 28 graphs x 3 methods = 504 plan
+// preset. Quick scale covers 6 presets x 28 graphs x 4 methods = 672 plan
 // cases; full scale doubles the graph stream and the per-plan budget.
 type ConformanceConfig struct {
 	Scale Scale

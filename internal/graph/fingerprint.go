@@ -27,7 +27,7 @@ import (
 // of its full descendant structure (computed backward), each folding in the
 // node's operator and cost fields plus the byte sizes of the incident edges.
 // Signature ranks are then refined against neighbor ranks to a fixpoint;
-// whenever a group of nodes remains tied, one member is individualized and
+// whenever a group of nodes remains tied, the group is individualized and
 // refinement re-run, so a tie-break choice propagates consistently to the
 // tied nodes' neighborhoods (two parallel identical chains stay aligned as
 // chains instead of being interleaved by insertion order). Nodes still tied
@@ -122,11 +122,14 @@ func (g *Graph) fingerprint() string {
 // order by refinement with individualization. Ranks start as the dense rank
 // of each node's signature; each refinement round re-ranks nodes by
 // (rank, hash of the rank-labeled in/out neighborhoods) until no round
-// splits further. If ties remain, one node of the lowest tied rank is
-// individualized (given its own rank) and refinement re-runs, so the choice
-// propagates structurally to everything that distinguishes itself relative
-// to the chosen node. Each individualization strictly increases the number
-// of distinct ranks, so the loop terminates in at most n rounds.
+// splits further. If ties remain, every node of the lowest tied rank is
+// individualized (given its own rank, in descending-ID order) and refinement
+// re-runs, so the choice propagates structurally to everything that
+// distinguishes itself relative to the peeled class. Each peel strictly
+// increases the number of distinct ranks by the class size, so the loop
+// terminates in at most n rounds and runs one round per surviving tie class
+// rather than one per tied node — keeping replicated-branch graphs (the
+// adversarial case for refinement) near-linear instead of quadratic.
 func canonicalPositions(g *Graph, sig [][]byte) []int {
 	n := len(g.nodes)
 	perm := make([]int, n)
@@ -160,12 +163,18 @@ func canonicalPositions(g *Graph, sig [][]byte) []int {
 		if distinct == n {
 			break
 		}
-		// Individualize one member of the lowest tied rank. Members of a
-		// tie class are indistinguishable by full ancestor/descendant
-		// structure, so for automorphic ties any member yields the same
-		// canonical encoding; the ID pick keeps the choice deterministic
-		// within a process.
-		lowest, member := -1, -1
+		// Individualize the whole lowest tied class at once. Members of a
+		// tie class at a refinement fixpoint are indistinguishable by full
+		// ancestor/descendant structure, so for automorphic ties any
+		// individualization order yields the same canonical encoding — which
+		// is why the class can be peeled in one step instead of one member
+		// per outer round (the former Θ(k) rounds for a k-member class made
+		// graphs with many replicated branches quadratic; see
+		// BenchmarkFingerprintAdversarial). Members get distinct consecutive
+		// ranks in descending node-ID order, exactly the order the
+		// one-member-per-round peeling used to converge to, so fingerprints
+		// are unchanged.
+		lowest := -1
 		counts := make([]int, distinct)
 		for _, rk := range rank {
 			counts[rk]++
@@ -176,18 +185,17 @@ func canonicalPositions(g *Graph, sig [][]byte) []int {
 				break
 			}
 		}
+		m := counts[lowest]
 		for v := 0; v < n; v++ {
-			if rank[v] == lowest && (member == -1 || v < member) {
-				member = v
+			rank[v] *= m // keep room for the individualized slots
+		}
+		slot := m - 1 // descending IDs get ascending slots
+		for v := 0; v < n; v++ {
+			if rank[v] == lowest*m {
+				rank[v] += slot
+				slot--
 			}
 		}
-		for v := 0; v < n; v++ {
-			rank[v] *= 2
-			if rank[v] > 2*lowest {
-				rank[v]++ // keep room for the individualized slot
-			}
-		}
-		rank[member] = 2*lowest + 1
 		rank, distinct = densify(rank)
 	}
 

@@ -58,6 +58,8 @@ type Graph struct {
 	edgeSet  map[[2]int]int32 // (from,to) -> edge index, rejects duplicates
 	// fp memoizes Fingerprint; see fpCache.
 	fp atomic.Pointer[fpCache]
+	// csr memoizes the packed adjacency view; see Graph.CSR.
+	csr atomic.Pointer[csrCache]
 }
 
 // New returns an empty graph with the given name.

@@ -60,6 +60,22 @@ var opEfficiency = [graph.NumOpKinds]float64{
 	graph.OpOutput:        0,
 }
 
+// OpEff returns the fraction of peak FLOP rate the simulator credits to the
+// operator kind (0 for pure data-movement ops, which cost only dispatch
+// overhead). It is exported so the conformance harness can inject the
+// simulator's cost semantics into the analytic lower bound
+// (analyze.CostParams) without internal/analyze ever importing hwsim.
+func OpEff(op graph.OpKind) float64 {
+	if int(op) >= 0 && int(op) < len(opEfficiency) {
+		return opEfficiency[op]
+	}
+	return 0
+}
+
+// DefaultOpOverhead is the per-op dispatch time Options.OpOverhead defaults
+// to.
+const DefaultOpOverhead = 200e-9
+
 // Options tune the simulator.
 type Options struct {
 	// Seed derives the deterministic measurement noise. Different seeds
@@ -91,7 +107,7 @@ func (o Options) withDefaults() Options {
 		o.PipelineFactor = 1.5
 	}
 	if o.OpOverhead == 0 {
-		o.OpOverhead = 200e-9
+		o.OpOverhead = DefaultOpOverhead
 	}
 	if o.PressureKnee == 0 {
 		o.PressureKnee = 0.75

@@ -62,7 +62,11 @@ type Config struct {
 	// MaxParamBytes caps the graph's total weight footprint (default
 	// 24 MiB), keeping most generated graphs placeable on the small dev
 	// packages so conformance sweeps exercise real plans, not just
-	// no-fit errors.
+	// no-fit errors. Beyond 1000 nodes the default scales linearly with
+	// the node count (24 MiB per 1000 nodes), so large-scale graphs keep a
+	// realistic per-node weight footprint instead of degenerating into
+	// all-but-weightless nodes that trivially fit one chip; graphs of at
+	// most 1000 nodes are unaffected, preserving existing seed streams.
 	MaxParamBytes int64
 }
 
@@ -78,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxParamBytes <= 0 {
 		c.MaxParamBytes = 24 << 20
+		if c.Nodes > 1000 {
+			c.MaxParamBytes = int64(c.Nodes) * (24 << 20) / 1000
+		}
 	}
 	return c
 }

@@ -1,8 +1,14 @@
 package randgraph
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
 	"strings"
 	"testing"
+	"time"
+
+	"mcmpart/internal/graph"
 )
 
 // TestGenerateIsDeterministic pins the determinism contract: identical
@@ -150,6 +156,89 @@ func TestGeneratedGraphsAreDAGsWithMonotoneEdges(t *testing.T) {
 			if e.Bytes <= 0 {
 				t.Fatalf("%s: edge (%d,%d) carries %d bytes", fam, e.From, e.To, e.Bytes)
 			}
+		}
+	}
+}
+
+// structHash is a cheap FNV-1a digest over a graph's full structure —
+// node counts, op kinds, FLOPs bits, weights, and edges — used instead of
+// graph.Fingerprint for the 100k-scale tests (canonicalization cost is the
+// fingerprint's own benchmark's problem, not this package's).
+func structHash(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	put(uint64(g.NumNodes()))
+	for _, nd := range g.Nodes() {
+		put(uint64(nd.Op))
+		put(math.Float64bits(nd.FLOPs))
+		put(uint64(nd.ParamBytes))
+	}
+	put(uint64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		put(uint64(e.From))
+		put(uint64(e.To))
+		put(uint64(e.Bytes))
+	}
+	return h.Sum64()
+}
+
+// TestHundredKScaleExactCountAndBudget is the 100k-node scale contract the
+// analytic fast path plans against: every family hits the node count
+// exactly, validates, generates within a CI-friendly time budget, and
+// carries the linearly scaled weight budget (so large graphs force real
+// multi-chip splits instead of trivially fitting one chip).
+func TestHundredKScaleExactCountAndBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node generation in -short mode")
+	}
+	const nodes = 100_000
+	wantBudget := int64(nodes) * (24 << 20) / 1000
+	for _, fam := range Families() {
+		start := time.Now()
+		g := Generate(Config{Family: fam, Nodes: nodes, Seed: 42})
+		elapsed := time.Since(start)
+		if g.NumNodes() != nodes {
+			t.Errorf("%s: generated %d nodes, want %d", fam, g.NumNodes(), nodes)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", fam, err)
+		}
+		if tp := g.TotalParamBytes(); tp > wantBudget {
+			t.Errorf("%s: total weights %d exceed the scaled budget %d", fam, tp, wantBudget)
+		} else if tp < wantBudget/8 {
+			t.Errorf("%s: total weights %d degenerate vs scaled budget %d — scaling regressed", fam, tp, wantBudget)
+		}
+		// Generation is O(V+E); anything past 10s on a 100k graph is a
+		// complexity regression, not noise (observed: well under 1s).
+		if elapsed > 10*time.Second {
+			t.Errorf("%s: generating 100k nodes took %v", fam, elapsed)
+		}
+	}
+}
+
+// TestHundredKScaleDeterministic pins byte-identical regeneration at the
+// 100k scale, where any hidden map-order or global-RNG dependence would
+// have 100k chances per graph to surface.
+func TestHundredKScaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node generation in -short mode")
+	}
+	const nodes = 100_000
+	for _, fam := range Families() {
+		a := Generate(Config{Family: fam, Nodes: nodes, Seed: 42})
+		b := Generate(Config{Family: fam, Nodes: nodes, Seed: 42})
+		if a.Name() != b.Name() {
+			t.Errorf("%s: names differ: %q vs %q", fam, a.Name(), b.Name())
+		}
+		if structHash(a) != structHash(b) {
+			t.Errorf("%s: same config generated structurally different 100k graphs", fam)
+		}
+		if c := Generate(Config{Family: fam, Nodes: nodes, Seed: 43}); structHash(c) == structHash(a) {
+			t.Errorf("%s: different seeds generated the same 100k graph", fam)
 		}
 	}
 }

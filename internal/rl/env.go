@@ -109,6 +109,14 @@ func (e *Env) step(p partition.Partition, solved bool) float64 {
 	return e.absorb(p, v)
 }
 
+// Prime evaluates and absorbs an externally constructed candidate — e.g. the
+// analytic fast path's plan — as the search's first sample(s), so every
+// subsequent method starts from that incumbent instead of from nothing. It
+// consumes one unit of the sample budget trajectory and returns the reward.
+func (e *Env) Prime(p partition.Partition) float64 {
+	return e.step(p, true)
+}
+
 // absorb records one already-evaluated sample into the trajectory and
 // returns its reward. Parallel rollout collection evaluates samples on
 // worker goroutines and then absorbs them here in deterministic episode

@@ -139,6 +139,11 @@ const (
 	// configuration. Requires Planner.Pretrain or Planner.LoadPolicy
 	// first.
 	MethodFineTune Method = "finetune"
+	// MethodAnalytic is the static-analysis fast path: a propagation-based
+	// analysis (internal/analyze) constructs a valid contiguous layout in
+	// near-linear time with no per-candidate evaluation — the only method
+	// that scales to 100k-node graphs. Deterministic; ignores SampleBudget.
+	MethodAnalytic Method = "analytic"
 )
 
 // Options configure the deprecated PartitionGraph. New code uses

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"mcmpart/internal/analyze"
 	"mcmpart/internal/costmodel"
 	"mcmpart/internal/cpsolver"
 	"mcmpart/internal/eval"
@@ -53,6 +54,12 @@ type PlanOptions struct {
 	// (including the dynamic memory constraint) instead of the faster
 	// analytical cost model.
 	UseSimulator bool
+	// SeedFromAnalytic primes the search-based methods with the analytic
+	// fast path's plan as their first sample, so the search starts from a
+	// strong valid incumbent instead of from nothing. Best-effort: when
+	// the analysis finds no layout the search runs unseeded. Ignored by
+	// MethodGreedy and MethodAnalytic (canonicalized to false).
+	SeedFromAnalytic bool
 	// Progress, when set, streams (samples, best-so-far improvement)
 	// after every evaluated candidate.
 	Progress ProgressFunc
@@ -70,9 +77,14 @@ func (o PlanOptions) normalized() (PlanOptions, error) {
 		o.Method = MethodRL
 	}
 	switch o.Method {
-	case MethodGreedy, MethodRandom, MethodSA, MethodRL, MethodZeroShot, MethodFineTune:
+	case MethodGreedy, MethodRandom, MethodSA, MethodRL, MethodZeroShot, MethodFineTune, MethodAnalytic:
 	default:
 		return o, fmt.Errorf("mcmpart: unknown method %q", o.Method)
+	}
+	if o.Method == MethodGreedy || o.Method == MethodAnalytic {
+		// Neither method searches, so there is nothing to seed; canonical
+		// form keeps the plan-cache key stable across the flag.
+		o.SeedFromAnalytic = false
 	}
 	if o.SampleBudget < 0 {
 		return o, fmt.Errorf("mcmpart: SampleBudget %d is negative; use 0 for the default (200)", o.SampleBudget)
@@ -418,6 +430,9 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 		}
 		return &Result{Partition: greedy, Throughput: base.Throughput, Improvement: 1, Samples: 1, History: []float64{1}}, nil
 	}
+	if opts.Method == MethodAnalytic {
+		return pl.planAnalytic(g, ev, greedy, base, opts)
+	}
 
 	env, err := pl.buildEnv(g, pl.graphContext(g, policyCfg), ev, base.Throughput)
 	if err != nil {
@@ -427,6 +442,14 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 		progress := opts.Progress
 		env.OnSample = func(samples int, best float64) {
 			progress(ProgressEvent{Samples: samples, BestImprovement: best})
+		}
+	}
+	if opts.SeedFromAnalytic {
+		// Best-effort: prime the search with the fast path's plan as its
+		// first sample (counted against the sample budget). An infeasible
+		// analysis just leaves the search unseeded.
+		if p, _, err := pl.analyticPartition(g); err == nil {
+			env.Prime(p)
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -469,6 +492,58 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 		History:     append([]float64(nil), env.History...),
 		FailCounts:  env.FailCounts,
 	}, runErr
+}
+
+// analyticPartition runs the static-analysis fast path on this planner's
+// package: domains, bounds, and a constructed contiguous layout, with no
+// candidate evaluation.
+func (pl *Planner) analyticPartition(g *Graph) (Partition, analyze.PlanInfo, error) {
+	a, err := analyze.New(g, pl.pkg)
+	if err != nil {
+		return nil, analyze.PlanInfo{}, err
+	}
+	return a.Plan(analyze.Options{})
+}
+
+// planAnalytic is MethodAnalytic: the fast path's plan, assessed once in the
+// selected evaluation environment. A plan the environment rejects (only
+// possible under the simulator's dynamic memory model — the static
+// constraints hold by construction) falls back to the greedy baseline, with
+// the rejection recorded in FailCounts.
+func (pl *Planner) planAnalytic(g *Graph, ev eval.Evaluator, greedy Partition, base Verdict, opts PlanOptions) (*Result, error) {
+	p, _, err := pl.analyticPartition(g)
+	if err != nil {
+		return nil, err
+	}
+	v := ev.Assess(g, p)
+	if !v.Valid || v.Throughput <= 0 {
+		reason := v.FailReason
+		if reason == "" {
+			reason = "evaluator rejected analytic plan"
+		}
+		if opts.Progress != nil {
+			opts.Progress(ProgressEvent{Samples: 2, BestImprovement: 1})
+		}
+		return &Result{
+			Partition:   greedy,
+			Throughput:  base.Throughput,
+			Improvement: 1,
+			Samples:     2,
+			History:     []float64{0, 1},
+			FailCounts:  map[string]int{reason: 1},
+		}, nil
+	}
+	imp := v.Throughput / base.Throughput
+	if opts.Progress != nil {
+		opts.Progress(ProgressEvent{Samples: 1, BestImprovement: imp})
+	}
+	return &Result{
+		Partition:   p,
+		Throughput:  v.Throughput,
+		Improvement: imp,
+		Samples:     1,
+		History:     []float64{imp},
+	}, nil
 }
 
 // Pretrain runs the paper's pre-training pipeline (Sec. 4.3, Figure 4) on a

@@ -1,0 +1,99 @@
+package mcmpart_test
+
+import (
+	"context"
+	"testing"
+
+	"mcmpart"
+)
+
+func TestPlanMethodAnalytic(t *testing.T) {
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mcmpart.CorpusGraphs(1)[0]
+	res, err := pl.Plan(context.Background(), g, mcmpart.PlanOptions{Method: mcmpart.MethodAnalytic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mcmpart.Validate(g, pl.Package(), res.Partition); err != nil {
+		t.Fatalf("analytic plan invalid: %v", err)
+	}
+	if res.Throughput <= 0 || res.Improvement <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.Samples != 1 && res.Samples != 2 {
+		t.Fatalf("Samples = %d, want 1 (analytic) or 2 (greedy fallback)", res.Samples)
+	}
+	// The fast path is deterministic: the seed must not matter.
+	res2, err := pl.Plan(context.Background(), g, mcmpart.PlanOptions{Method: mcmpart.MethodAnalytic, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Throughput != res.Throughput {
+		t.Fatalf("analytic plan depends on seed: %g vs %g", res2.Throughput, res.Throughput)
+	}
+	for i := range res.Partition {
+		if res.Partition[i] != res2.Partition[i] {
+			t.Fatalf("analytic plan depends on seed at node %d", i)
+		}
+	}
+}
+
+func TestPlanMethodAnalyticSimulator(t *testing.T) {
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mcmpart.CorpusGraphs(2)[1]
+	res, err := pl.Plan(context.Background(), g, mcmpart.PlanOptions{Method: mcmpart.MethodAnalytic, UseSimulator: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mcmpart.Validate(g, pl.Package(), res.Partition); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("bad throughput %g", res.Throughput)
+	}
+}
+
+func TestPlanSeedFromAnalytic(t *testing.T) {
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mcmpart.CorpusGraphs(3)[2]
+	analytic, err := pl.Plan(context.Background(), g, mcmpart.PlanOptions{Method: mcmpart.MethodAnalytic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := pl.Plan(context.Background(), g, mcmpart.PlanOptions{
+		Method: mcmpart.MethodRandom, SampleBudget: 10, SeedFromAnalytic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seeded search starts from the analytic incumbent (the priming
+	// sample counts against the budget) and can never end below the
+	// analytic plan's throughput.
+	if seeded.Samples != 10 {
+		t.Fatalf("Samples = %d, want 10 (priming counts against the budget)", seeded.Samples)
+	}
+	if seeded.Throughput < analytic.Throughput {
+		t.Fatalf("seeded search throughput %g below analytic incumbent %g", seeded.Throughput, analytic.Throughput)
+	}
+	// Canonicalization: the flag is a no-op for non-search methods.
+	opts := mcmpart.PlanOptions{Method: mcmpart.MethodGreedy, SeedFromAnalytic: true}
+	if err := opts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := pl.Plan(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Samples != 1 {
+		t.Fatalf("greedy with SeedFromAnalytic consumed %d samples, want 1", greedy.Samples)
+	}
+}

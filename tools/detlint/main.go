@@ -1,0 +1,413 @@
+// Command detlint is the repo's determinism lint: a go-vet-compatible
+// analyzer that flags the three patterns which have historically broken
+// byte-reproducibility of plans, sweeps, and fingerprints:
+//
+//  1. time.Now — wall-clock reads inside deterministic packages. Timestamps
+//     must be threaded in by the caller (cmd/ layers stamp results; the
+//     planning core never looks at a clock).
+//  2. Global math/rand functions (rand.Intn, rand.Float64, rand.Shuffle, …)
+//     — process-global RNG state is seeded outside the scenario seed
+//     discipline. Constructor calls (rand.New, rand.NewSource, rand.NewZipf)
+//     are fine; everything must flow from an explicit *rand.Rand.
+//  3. Ranging over a map while appending into an output slice, without a
+//     sort of that slice later in the same block — map iteration order is
+//     randomized per run, so the output ordering leaks nondeterminism.
+//     The deterministic idiom (collect keys, sort, then index) is accepted.
+//
+// It is stdlib-only (no golang.org/x/tools dependency) and runs two ways:
+//
+//	detlint ./internal/analyze ./internal/search ...   # direct, on package dirs
+//	go vet -vettool=$(which detlint) ./internal/...    # unitchecker protocol
+//
+// Under go vet the tool implements the cmd/go vettool contract: -V=full
+// prints a stable identity line (bump lintVersion when rules change — cmd/go
+// caches results keyed on it), -flags reports no extra flags, and a single
+// *.cfg argument runs one package build unit described by the JSON config.
+// Findings go to stderr as file:line:col diagnostics; exit status 2 signals
+// findings, matching vet convention.
+//
+// A finding is suppressed by a "//detlint:ignore" comment on the flagged
+// line or the line above it. Test files (_test.go) are exempt: tests may
+// time themselves and exercise nondeterminism on purpose.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const lintVersion = "v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "-V":
+			// cmd/go tool-identity probe; the output is the cache key.
+			fmt.Printf("detlint version %s\n", lintVersion)
+			return
+		case args[0] == "-flags":
+			// cmd/go flag discovery: we expose no analyzer flags.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runVetUnit(args[0]))
+		}
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: detlint <package-dir>... | detlint <unit>.cfg (go vet -vettool)")
+		os.Exit(1)
+	}
+	os.Exit(runDirs(args))
+}
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that detlint
+// needs (the full struct is x/tools' unitchecker.Config; unknown fields are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// runVetUnit handles one go-vet build unit. Dependency units arrive with
+// VetxOnly=true and are skipped (detlint exports no facts); target units are
+// parsed, type-checked, and linted. The facts file must exist afterwards or
+// cmd/go reports the tool as failed, so an empty one is always written.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	findings, err := lintFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx()
+	return report(findings)
+}
+
+// runDirs lints package directories given directly on the command line.
+func runDirs(dirs []string) int {
+	var all []finding
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 1
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		fs, err := lintFiles(dir, dir, files)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %s: %v\n", dir, err)
+			return 1
+		}
+		all = append(all, fs...)
+	}
+	return report(all)
+}
+
+func report(findings []finding) int {
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos.Filename != findings[j].pos.Filename {
+			return findings[i].pos.Filename < findings[j].pos.Filename
+		}
+		return findings[i].pos.Offset < findings[j].pos.Offset
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
+	}
+	return 2
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+// lintFiles parses, type-checks, and lints one package's files. Test files
+// are skipped. Type-checking is best effort: the source importer resolves
+// dependencies when it can, and any residual errors only cost the map-range
+// rule its type information (the other rules are purely syntactic).
+func lintFiles(pkgPath, dir string, paths []string) ([]finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		if strings.HasSuffix(p, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(p) && dir != "" {
+			if _, err := os.Stat(p); err != nil {
+				p = filepath.Join(dir, filepath.Base(p))
+			}
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // collect partial info even when imports fail
+	}
+	conf.Check(pkgPath, fset, files, info) //nolint:errcheck // best effort by design
+	var out []finding
+	for _, f := range files {
+		out = append(out, lintFile(fset, f, info)...)
+	}
+	return out, nil
+}
+
+// lintFile applies the three rules to one file.
+func lintFile(fset *token.FileSet, file *ast.File, info *types.Info) []finding {
+	timeName := importName(file, "time")
+	randName := importName(file, "math/rand")
+	ignored := ignoredLines(fset, file)
+	var out []finding
+	add := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		if ignored[p.Line] || ignored[p.Line-1] {
+			return
+		}
+		out = append(out, finding{pos: p, msg: msg})
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Only calls count: rand.Rand / rand.Source in type positions are
+			// exactly the seeded style the lint wants to push toward.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if timeName != "" && id.Name == timeName && sel.Sel.Name == "Now" {
+				add(n.Pos(), "time.Now in a deterministic package: thread timestamps in from the caller [detlint]")
+			}
+			if randName != "" && id.Name == randName && globalRandFunc(sel.Sel.Name) {
+				add(n.Pos(), fmt.Sprintf("global math/rand state (%s.%s): derive a *rand.Rand from the scenario seed with rand.New(rand.NewSource(seed)) [detlint]", randName, sel.Sel.Name))
+			}
+		case *ast.BlockStmt:
+			out = append(out, lintMapRanges(fset, n, info, ignored)...)
+		}
+		return true
+	})
+	return out
+}
+
+// globalRandFunc reports whether name is a math/rand package-level function
+// that consumes the process-global RNG. Constructors are exempt.
+func globalRandFunc(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf":
+		return false
+	case "Rand", "Source", "Source64", "Zipf":
+		// Type names: a rand.Source(x) conversion is not a global draw.
+		return false
+	}
+	// Every other exported rand.X call site draws from the global source
+	// (rand.Intn, rand.Perm, rand.Shuffle, rand.Seed, rand.Read, …).
+	return true
+}
+
+// lintMapRanges flags `for … := range m` statements over maps whose body
+// appends into an output slice, unless a later statement in the same block
+// sorts that slice (the collect-keys-then-sort idiom).
+func lintMapRanges(fset *token.FileSet, block *ast.BlockStmt, info *types.Info, ignored map[int]bool) []finding {
+	var out []finding
+	for i, stmt := range block.List {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapType(rs.X, info) {
+			continue
+		}
+		targets := appendTargets(rs.Body)
+		if len(targets) == 0 {
+			continue
+		}
+		if sortedLater(block.List[i+1:], targets) {
+			continue
+		}
+		p := fset.Position(rs.Pos())
+		if ignored[p.Line] || ignored[p.Line-1] {
+			continue
+		}
+		out = append(out, finding{pos: p, msg: fmt.Sprintf(
+			"appending to %s while ranging over a map: iteration order is randomized; collect and sort keys first, or sort the result before use [detlint]",
+			strings.Join(targets, ", "))})
+	}
+	return out
+}
+
+func isMapType(e ast.Expr, info *types.Info) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// appendTargets returns the names of variables assigned from append(...)
+// calls anywhere in the loop body (v = append(v, …) and v := append(…)).
+func appendTargets(body *ast.BlockStmt) []string {
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					seen[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedLater reports whether any statement in stmts calls a sort/slices
+// sorting function mentioning one of the target variables — which launders
+// the nondeterministic collection order back into a canonical one.
+func sortedLater(stmts []ast.Stmt, targets []string) bool {
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			if !strings.HasPrefix(sel.Sel.Name, "Sort") && !strings.HasPrefix(sel.Sel.Name, "Strings") &&
+				!strings.HasPrefix(sel.Sel.Name, "Ints") && !strings.HasPrefix(sel.Sel.Name, "Float64s") &&
+				!strings.HasPrefix(sel.Sel.Name, "Slice") && !strings.HasPrefix(sel.Sel.Name, "Stable") {
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && want[id.Name] {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the local name under which path is imported in file
+// ("" when absent, the last path element when unaliased).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// ignoredLines collects the lines carrying a detlint:ignore directive.
+func ignoredLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "detlint:ignore") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}

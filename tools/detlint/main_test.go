@@ -1,0 +1,131 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// lintSource type-checks and lints one synthetic file (stdlib imports only,
+// so the source importer always resolves) and returns the finding messages.
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{Importer: testImporter{}, Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{f}, info) //nolint:errcheck
+	var msgs []string
+	for _, fd := range lintFile(fset, f, info) {
+		msgs = append(msgs, fd.msg)
+	}
+	return msgs
+}
+
+// testImporter resolves nothing: the synthetic sources only need local type
+// inference (map literals, make), mirroring the degraded mode the real run
+// falls back to when an import fails.
+type testImporter struct{}
+
+func (testImporter) Import(path string) (*types.Package, error) {
+	pkg := types.NewPackage(path, path[strings.LastIndex(path, "/")+1:])
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+func TestFlagsTimeNow(t *testing.T) {
+	msgs := lintSource(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "time.Now") {
+		t.Fatalf("msgs = %v, want one time.Now finding", msgs)
+	}
+}
+
+func TestFlagsGlobalRand(t *testing.T) {
+	msgs := lintSource(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(4) }
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "rand.Intn") {
+		t.Fatalf("msgs = %v, want one global-rand finding", msgs)
+	}
+}
+
+func TestAllowsSeededRand(t *testing.T) {
+	msgs := lintSource(t, `package p
+import "math/rand"
+func f(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(4)
+}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("msgs = %v, want none for seeded rand.New", msgs)
+	}
+}
+
+func TestFlagsMapRangeAppend(t *testing.T) {
+	msgs := lintSource(t, `package p
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "ranging over a map") {
+		t.Fatalf("msgs = %v, want one map-range finding", msgs)
+	}
+}
+
+func TestAllowsSortedMapRangeAppend(t *testing.T) {
+	msgs := lintSource(t, `package p
+import "sort"
+func f(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("msgs = %v, want none for the collect-then-sort idiom", msgs)
+	}
+}
+
+func TestAllowsSliceRangeAppend(t *testing.T) {
+	msgs := lintSource(t, `package p
+func f(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v*2)
+	}
+	return out
+}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("msgs = %v, want none for slice ranges", msgs)
+	}
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	msgs := lintSource(t, `package p
+import "time"
+//detlint:ignore — boot stamp is allowed to be wall-clock
+func f() time.Time { return time.Now() }
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("msgs = %v, want suppressed by detlint:ignore", msgs)
+	}
+}
