@@ -44,12 +44,14 @@ func cloneResult(r *Result) *Result {
 // concurrent use. Results are deep-copied on the way in and on the way out:
 // a hit is bit-identical to the plan that populated the entry, and no
 // caller can corrupt it.
+//
+//mcmlint:deepcopy cloneResult
 type planCache struct {
 	mu           sync.Mutex
-	cap          int
-	ll           *list.List // front = most recently used
-	items        map[string]*list.Element
-	hits, misses uint64
+	cap          int                      // immutable after newPlanCache
+	ll           *list.List               // guarded by mu; front = most recently used
+	items        map[string]*list.Element // guarded by mu
+	hits, misses uint64                   // guarded by mu
 }
 
 type planCacheEntry struct {

@@ -22,6 +22,9 @@
 // tightening under a trail mark that is rolled back afterwards — the same
 // propagate-and-backtrack machinery the sample-by-sample solver uses,
 // without its O(|V|) per-assignment sweeps.
+//
+//mcmlint:deterministic
+//mcmlint:hotpath
 package analyze
 
 import (

@@ -57,7 +57,7 @@ func (a *Analysis) Plan(opts Options) (partition.Partition, PlanInfo, error) {
 	}
 	bestLat := inf()
 	bestK := -1
-	var bestBounds []int
+	bestBounds := make([]int, 0, a.chips)
 	scratch := make([]int, a.chips)
 	for _, k := range a.feasibleK {
 		bounds := scratch[:k-1]

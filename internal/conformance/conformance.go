@@ -31,6 +31,8 @@
 // Every check is a standalone function over explicit inputs, so a test can
 // feed a deliberately broken environment and watch the oracle fail — the
 // harness's own regression story.
+//
+//mcmlint:deterministic
 package conformance
 
 import (

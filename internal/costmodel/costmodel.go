@@ -13,6 +13,8 @@
 // the uni-directional ring) makes the partition illegal: Latency returns
 // +Inf and Evaluate reports it invalid, in agreement with the hardware
 // simulator's verdict on the same partition.
+//
+//mcmlint:deterministic
 package costmodel
 
 import (

@@ -13,6 +13,9 @@
 // graph). Assignments are undone through a trail, so the solver backtracks
 // chronologically exactly as the paper describes: set_domain returns the new
 // decision index, which decreases when the solver had to undo decisions.
+//
+//mcmlint:deterministic
+//mcmlint:hotpath
 package cpsolver
 
 import (

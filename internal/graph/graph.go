@@ -7,6 +7,8 @@
 // Every edge carries the number of bytes transferred from producer to
 // consumer, which the cost models turn into inter-chip communication time
 // when the edge is cut by a partition.
+//
+//mcmlint:deterministic
 package graph
 
 import (

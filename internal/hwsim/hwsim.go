@@ -22,6 +22,8 @@
 // Measurements carry deterministic, seed-derived noise so repeated runs
 // reproduce the paper's mean-and-standard-deviation methodology without
 // real nondeterminism.
+//
+//mcmlint:deterministic
 package hwsim
 
 import (

@@ -3,6 +3,8 @@
 // GraphSAGE encoder, feed-forward heads and Adam need. Everything is
 // allocation-explicit — callers own output buffers — so training loops can
 // run allocation-free after warm-up.
+//
+//mcmlint:hotpath
 package mat
 
 import (

@@ -13,6 +13,8 @@
 // compute rate, and link bandwidth/latency (inter-chip communication cost).
 // The real hardware is proprietary; every experiment in this repository runs
 // against this descriptor plus the simulator in internal/hwsim.
+//
+//mcmlint:deterministic
 package mcm
 
 import (

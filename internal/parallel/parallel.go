@@ -18,6 +18,9 @@
 // Under those rules scheduling is free to be dynamic (an atomic cursor
 // balances load), yet outputs are independent of worker count and of thread
 // interleaving.
+//
+//mcmlint:deterministic
+//mcmlint:hotpath
 package parallel
 
 import (
@@ -145,6 +148,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//mcmlint:ignore hotalloc worker spawn runs once per call, not per item; the goroutine itself is the allocation
 		go func() {
 			defer wg.Done()
 			for {
@@ -205,6 +209,7 @@ func ForEachBlock(workers, n int, fn func(worker, lo, hi int)) {
 			continue
 		}
 		wg.Add(1)
+		//mcmlint:ignore hotalloc worker spawn runs once per call, not per item; the goroutine itself is the allocation
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			fn(w, lo, hi)

@@ -45,6 +45,7 @@ func NewPool(workers, queue int) *Pool {
 	p := &Pool{tasks: make(chan func(), queue), workers: workers}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//mcmlint:ignore hotalloc pool startup runs once per NewPool, not per task
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.tasks {

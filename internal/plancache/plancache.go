@@ -16,6 +16,8 @@
 //     counted) and reported as a miss — never served;
 //   - lookups are lazy: nothing is scanned at startup, so warm starts are
 //     O(1) and pay one file read per first-touch key.
+//
+//mcmlint:deterministic
 package plancache
 
 import (

@@ -146,6 +146,7 @@ func Run(ctx context.Context, train, validation []*graph.Graph, factory EnvFacto
 			return res, err
 		}
 		res.TrainStats = append(res.TrainStats, trainer.Iterate(envs))
+		//mcmlint:ignore ctxloop checkpoint drain takes no samples and is bounded by cfg.Checkpoints; the training loop above checks ctx
 		for totalSamples() >= nextCheckpoint && len(res.Checkpoints) < cfg.Checkpoints {
 			res.Checkpoints = append(res.Checkpoints, policy.Snapshot())
 			nextCheckpoint += interval

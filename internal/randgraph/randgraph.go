@@ -21,6 +21,8 @@
 // a (family, nodes, seed) triple names one graph, bit-for-bit, across
 // processes and worker counts. A conformance violation found on a generated
 // graph is therefore reproducible from its seed alone.
+//
+//mcmlint:deterministic
 package randgraph
 
 import (

@@ -5,6 +5,8 @@
 // solver-corrected partitions. Decoding is iterative but non-autoregressive
 // (Eq. 7): the policy conditions on the whole previous assignment and
 // refines it for a small number of iterations T.
+//
+//mcmlint:deterministic
 package rl
 
 import (

@@ -4,6 +4,8 @@
 // partition fits in memory "requires knowledge of the order of scheduling of
 // operations that is only determined at a later compilation pass" (Sec. 1) —
 // this package is that later pass.
+//
+//mcmlint:deterministic
 package sched
 
 import (

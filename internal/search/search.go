@@ -2,6 +2,8 @@
 // (Sec. 5.1): the greedy compiler heuristic used as the normalization
 // baseline, random search through the constraint solver, and simulated
 // annealing over the solver's input distribution.
+//
+//mcmlint:deterministic
 package search
 
 import (
@@ -99,6 +101,7 @@ func Anneal(ctx context.Context, env *rl.Env, budget int, cfg SAConfig, rng *ran
 			return err
 		}
 		copy(pflat, flat)
+		//mcmlint:ignore ctxloop perturbing k rows takes no samples; the annealing loop above checks ctx every step
 		for i := 0; i < k; i++ {
 			row := proposal[rng.Intn(n)]
 			var sum float64

@@ -2,6 +2,8 @@
 // reports: geometric means of per-graph improvements (Figure 5), Pearson
 // correlation for the cost-model calibration (Figure 7), and
 // sample-threshold extraction for Tables 2 and 3.
+//
+//mcmlint:deterministic
 package stats
 
 import "math"

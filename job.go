@@ -55,7 +55,12 @@ type JobStatus struct {
 
 // Job is one asynchronous plan submitted to a Service. A Job is handed out
 // by Service.Submit and remains valid after completion (the Service retains
-// a bounded history of terminal jobs for status queries).
+// a bounded history of terminal jobs for status queries). The retained
+// result is isolated like a cache entry: it goes in and comes out through
+// cloneResult, so no two callers (and no caller plus the retained copy)
+// ever alias the same Result.
+//
+//mcmlint:deepcopy cloneResult
 type Job struct {
 	id string
 	// ctx is the job's execution context: derived from the service
@@ -65,13 +70,13 @@ type Job struct {
 	done   chan struct{}
 
 	mu        sync.Mutex
-	state     JobState
-	cached    bool
-	coalesced bool
-	samples   int
-	best      float64
-	result    *Result
-	err       error
+	state     JobState // guarded by mu
+	cached    bool     // guarded by mu
+	coalesced bool     // guarded by mu
+	samples   int      // guarded by mu
+	best      float64  // guarded by mu
+	result    *Result  // guarded by mu
+	err       error    // guarded by mu
 }
 
 func newJob(id string, ctx context.Context, cancel context.CancelFunc) *Job {
@@ -111,7 +116,7 @@ func (j *Job) Result() (*Result, error) {
 	if !j.state.Terminal() {
 		return nil, nil
 	}
-	return j.result, j.err
+	return cloneResult(j.result), j.err
 }
 
 // Wait blocks until the job is terminal or ctx is done. When ctx wins, Wait
@@ -169,7 +174,7 @@ func (j *Job) finish(state JobState, res *Result, err error, cached bool) bool {
 		return false
 	}
 	j.state = state
-	j.result = res
+	j.result = cloneResult(res)
 	j.err = err
 	j.cached = cached
 	if res != nil {

@@ -31,6 +31,8 @@
 // PartitionGraph remains as a deprecated one-shot wrapper over the Planner.
 // See DESIGN.md for the system inventory, deviations, and reproduction
 // notes; cmd/mcmexp regenerates every table and figure of the paper.
+//
+//mcmlint:deterministic
 package mcmpart
 
 import (

@@ -227,11 +227,11 @@ type Planner struct {
 	// The policy value itself is immutable once installed: planning methods
 	// clone it before any weight update.
 	mu       sync.RWMutex
-	policy   *rl.Policy
-	policyFP string
+	policy   *rl.Policy // guarded by mu
+	policyFP string     // guarded by mu
 	// ftPPO is the PPO configuration MethodFineTune continues training
 	// with; Pretrain keeps it aligned with the pre-training scale.
-	ftPPO rl.PPOConfig
+	ftPPO rl.PPOConfig // guarded by mu
 }
 
 // NewPlanner builds a planning session for the package. The package is

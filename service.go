@@ -196,26 +196,26 @@ type Service struct {
 	// registry path it came from ("" when installed via Pretrain or
 	// LoadPolicy) and its fingerprint at install time.
 	installedMu   sync.Mutex
-	installedPath string
-	installedFP   string
+	installedPath string // guarded by installedMu
+	installedFP   string // guarded by installedMu
 
 	mu             sync.Mutex
-	closed         bool
-	draining       bool
-	seq            int
-	jobs           map[string]*Job
-	jobOrder       []string // insertion order, for terminal-job eviction
-	maxRetained    int
-	inflight       map[string]*flight
-	jobsSubmitted  uint64
-	jobsDone       uint64
-	jobsFailed     uint64
-	jobsCancelled  uint64
-	jobsQueued     int
-	jobsRunning    int
-	plansExecuted  uint64
-	plansCoalesced uint64
-	diskHits       uint64
+	closed         bool               // guarded by mu
+	draining       bool               // guarded by mu
+	seq            int                // guarded by mu
+	jobs           map[string]*Job    // guarded by mu
+	jobOrder       []string           // guarded by mu; insertion order, for terminal-job eviction
+	maxRetained    int                // guarded by mu
+	inflight       map[string]*flight // guarded by mu
+	jobsSubmitted  uint64             // guarded by mu
+	jobsDone       uint64             // guarded by mu
+	jobsFailed     uint64             // guarded by mu
+	jobsCancelled  uint64             // guarded by mu
+	jobsQueued     int                // guarded by mu
+	jobsRunning    int                // guarded by mu
+	plansExecuted  uint64             // guarded by mu
+	plansCoalesced uint64             // guarded by mu
+	diskHits       uint64             // guarded by mu
 }
 
 // flight is one in-flight plan computation for one cache key: a leader job
@@ -799,8 +799,8 @@ func (s *Service) promoteNext(fl *flight) bool {
 }
 
 // resolveFlight finishes the flight's leader and every attached follower
-// with the plan's outcome. Followers receive deep copies, so no caller can
-// corrupt another's result.
+// with the plan's outcome. Job.finish clones the result on retention (and
+// Job.Result on the way out), so no caller can corrupt another's result.
 func (s *Service) resolveFlight(fl *flight, res *Result, err error) {
 	s.mu.Lock()
 	if cur, ok := s.inflight[fl.key]; ok && cur == fl {
@@ -815,7 +815,7 @@ func (s *Service) resolveFlight(fl *flight, res *Result, err error) {
 	if err == nil {
 		s.finishJob(leader, JobDone, res, nil, false)
 		for _, f := range followers {
-			s.finishJob(f.job, JobDone, cloneResult(res), nil, false)
+			s.finishJob(f.job, JobDone, res, nil, false)
 		}
 		return
 	}

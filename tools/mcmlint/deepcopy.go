@@ -1,0 +1,219 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deepcopyAnalyzer enforces the PR 4 bit-identity contract at cache and
+// retention boundaries: a cached value must stay immutable no matter what
+// callers do with what they were handed, so every value of the protected
+// type that crosses an annotated type's storage boundary must pass through
+// the type's clone helper.
+//
+// A type opts in with a doc-comment directive naming its helper:
+//
+//	// planCache is …
+//	//mcmlint:deepcopy cloneResult
+//	type planCache struct { … }
+//
+// The protected type is the helper's result type (cloneResult(*Result)
+// *Result ⇒ *Result). Inside methods of the annotated type, any expression
+// of the protected type that is returned, assigned into a field or
+// map/index slot, or placed in a composite literal must be one of:
+//
+//   - a call to the helper,
+//   - nil,
+//   - a fresh composite literal (&T{…} — owned, not shared),
+//   - a call to another method of the annotated type (delegation: the
+//     callee is itself checked).
+//
+// Everything else — returning a stored pointer, storing a caller's
+// pointer — aliases mutable state across the boundary and is a diagnostic.
+var deepcopyAnalyzer = &Analyzer{
+	Name: "deepcopy",
+	Doc:  "values crossing a //mcmlint:deepcopy type's storage boundary must pass through its clone helper",
+	Run:  runDeepcopy,
+}
+
+func runDeepcopy(pass *Pass) {
+	if pass.Pkg == nil || pass.Info == nil {
+		return
+	}
+	boundaries := deepcopyBoundaries(pass)
+	if len(boundaries) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvType := receiverTypeName(fd)
+			b, ok := boundaries[recvType]
+			if !ok || b.protected == nil {
+				continue
+			}
+			checkDeepcopyMethod(pass, fd, b)
+		}
+	}
+}
+
+// deepcopyBoundary is one annotated type: its clone helper and the
+// protected type the helper deep-copies.
+type deepcopyBoundary struct {
+	typeName  string
+	helper    string
+	protected types.Type
+}
+
+// deepcopyBoundaries collects //mcmlint:deepcopy annotations from type
+// declarations and resolves each helper's result type.
+func deepcopyBoundaries(pass *Pass) map[string]deepcopyBoundary {
+	out := map[string]deepcopyBoundary{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				helper := deepcopyDirective(gd.Doc, ts.Doc, ts.Comment)
+				if helper == "" {
+					continue
+				}
+				b := deepcopyBoundary{typeName: ts.Name.Name, helper: helper}
+				obj := pass.Pkg.Scope().Lookup(helper)
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//mcmlint:deepcopy names %q, which is not a function in this package", helper)
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				if sig.Results().Len() == 0 {
+					pass.Reportf(ts.Pos(), "//mcmlint:deepcopy helper %q returns nothing; it must return the deep-copied value", helper)
+					continue
+				}
+				b.protected = sig.Results().At(0).Type()
+				out[b.typeName] = b
+			}
+		}
+	}
+	return out
+}
+
+func deepcopyDirective(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "mcmlint:deepcopy")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 1 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (T[U]) do not occur here; a plain ident is the
+	// only supported shape.
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkDeepcopyMethod walks one method of an annotated type and reports
+// protected-type values that cross the boundary unwrapped.
+func checkDeepcopyMethod(pass *Pass, fd *ast.FuncDecl, b deepcopyBoundary) {
+	recvName := ""
+	if names := fd.Recv.List[0].Names; len(names) > 0 {
+		recvName = names[0].Name
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				checkDeepcopyExpr(pass, e, b, recvName, "returned from "+fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// Stored into a field or map/index slot: retained.
+					checkDeepcopyExpr(pass, rhs, b, recvName, "stored by "+fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				checkDeepcopyExpr(pass, e, b, recvName, "retained in a composite literal by "+fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkDeepcopyExpr(pass *Pass, e ast.Expr, b deepcopyBoundary, recvName, how string) {
+	t := pass.TypeOf(e)
+	if t == nil || !types.Identical(t, b.protected) {
+		return
+	}
+	if deepcopyAllowed(e, b, recvName) {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s value %s without passing through %s: cached/retained values must be deep-copied so entries stay immutable (bit-identity contract)",
+		b.protected.String(), how, b.helper)
+}
+
+func deepcopyAllowed(e ast.Expr, b deepcopyBoundary, recvName string) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := e.X.(*ast.CompositeLit)
+		return lit
+	case *ast.ParenExpr:
+		return deepcopyAllowed(e.X, b, recvName)
+	case *ast.CallExpr:
+		switch fn := e.Fun.(type) {
+		case *ast.Ident:
+			return fn.Name == b.helper
+		case *ast.SelectorExpr:
+			// Delegation to a sibling method on the same receiver: the
+			// callee's own body is checked, so its result is safe.
+			if base, ok := fn.X.(*ast.Ident); ok && recvName != "" && base.Name == recvName {
+				return true
+			}
+		}
+	}
+	return false
+}

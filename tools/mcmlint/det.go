@@ -1,0 +1,215 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// detAnalyzer is the determinism lint detlint pioneered, now analyzer #1
+// of the suite. In packages annotated //mcmlint:deterministic it flags the
+// three patterns that have historically broken byte-reproducibility of
+// plans, sweeps, and fingerprints:
+//
+//  1. time.Now — wall-clock reads inside deterministic packages.
+//     Timestamps must be threaded in by the caller (cmd/ layers stamp
+//     results; the planning core never looks at a clock).
+//  2. Global math/rand functions (rand.Intn, rand.Float64, rand.Shuffle,
+//     …) — process-global RNG state is seeded outside the scenario seed
+//     discipline. Constructor calls (rand.New, rand.NewSource,
+//     rand.NewZipf) are fine; everything must flow from an explicit
+//     *rand.Rand.
+//  3. Ranging over a map while appending into an output slice, without a
+//     sort of that slice later in the same block — map iteration order is
+//     randomized per run, so the output ordering leaks nondeterminism.
+//     The deterministic idiom (collect keys, sort, then index) is
+//     accepted.
+var detAnalyzer = &Analyzer{
+	Name: "det",
+	Doc:  "flags time.Now, global math/rand draws, and unsorted map-range output in //mcmlint:deterministic packages",
+	Run:  runDet,
+}
+
+func runDet(pass *Pass) {
+	if !pass.HasDirective("deterministic") {
+		return
+	}
+	for _, file := range pass.Files {
+		detFile(pass, file)
+	}
+}
+
+func detFile(pass *Pass, file *ast.File) {
+	timeName := importName(file, "time")
+	randName := importName(file, "math/rand")
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Only calls count: rand.Rand / rand.Source in type positions
+			// are exactly the seeded style the lint pushes toward.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if timeName != "" && id.Name == timeName && sel.Sel.Name == "Now" {
+				pass.Reportf(n.Pos(), "time.Now in a deterministic package: thread timestamps in from the caller")
+			}
+			if randName != "" && id.Name == randName && globalRandFunc(sel.Sel.Name) {
+				pass.Reportf(n.Pos(), "global math/rand state (%s.%s): derive a *rand.Rand from the scenario seed with rand.New(rand.NewSource(seed))", randName, sel.Sel.Name)
+			}
+		case *ast.BlockStmt:
+			detMapRanges(pass, n)
+		}
+		return true
+	})
+}
+
+// globalRandFunc reports whether name is a math/rand package-level function
+// that consumes the process-global RNG. Constructors are exempt.
+func globalRandFunc(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf":
+		return false
+	case "Rand", "Source", "Source64", "Zipf":
+		// Type names: a rand.Source(x) conversion is not a global draw.
+		return false
+	}
+	// Every other exported rand.X call site draws from the global source
+	// (rand.Intn, rand.Perm, rand.Shuffle, rand.Seed, rand.Read, …).
+	return true
+}
+
+// detMapRanges flags `for … := range m` statements over maps whose body
+// appends into an output slice, unless a later statement in the same block
+// sorts that slice (the collect-keys-then-sort idiom).
+func detMapRanges(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapType(pass, rs.X) {
+			continue
+		}
+		targets := appendTargets(rs.Body)
+		if len(targets) == 0 {
+			continue
+		}
+		if sortedLater(block.List[i+1:], targets) {
+			continue
+		}
+		pass.Reportf(rs.Pos(),
+			"appending to %s while ranging over a map: iteration order is randomized; collect and sort keys first, or sort the result before use",
+			strings.Join(targets, ", "))
+	}
+}
+
+func isMapType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// appendTargets returns the names of variables assigned from append(...)
+// calls anywhere in the loop body (v = append(v, …) and v := append(…)).
+func appendTargets(body *ast.BlockStmt) []string {
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					seen[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedLater reports whether any statement in stmts calls a sort/slices
+// sorting function mentioning one of the target variables — which launders
+// the nondeterministic collection order back into a canonical one.
+func sortedLater(stmts []ast.Stmt, targets []string) bool {
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			if !strings.HasPrefix(sel.Sel.Name, "Sort") && !strings.HasPrefix(sel.Sel.Name, "Strings") &&
+				!strings.HasPrefix(sel.Sel.Name, "Ints") && !strings.HasPrefix(sel.Sel.Name, "Float64s") &&
+				!strings.HasPrefix(sel.Sel.Name, "Slice") && !strings.HasPrefix(sel.Sel.Name, "Stable") {
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && want[id.Name] {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the local name under which path is imported in file
+// ("" when absent, the last path element when unaliased).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

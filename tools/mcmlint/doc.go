@@ -1,0 +1,84 @@
+// Command mcmlint is the repo's contract-enforcing static-analysis suite:
+// a multi-analyzer framework over the go-vet vettool protocol that turns the
+// hand-maintained invariants of the planner/serving stack into
+// machine-checked diagnostics. Where the runtime test suite catches a
+// violated contract after it ships, mcmlint catches it at vet time.
+//
+// # Analyzers
+//
+//	det       Determinism (PR 1/PR 7 contract). In packages annotated
+//	          //mcmlint:deterministic, flags time.Now, global math/rand
+//	          draws, and map-range loops that append into an output slice
+//	          without a later sort — the three patterns that have
+//	          historically broken byte-reproducibility of plans, sweeps,
+//	          and fingerprints.
+//
+//	deepcopy  Cache/retention isolation (PR 4 bit-identity contract). For
+//	          types annotated //mcmlint:deepcopy <helper>, any value of the
+//	          helper's result type that crosses the type's storage boundary
+//	          (returned from a method, assigned into a field or map slot,
+//	          or placed in a composite literal) must pass through <helper>
+//	          (or be nil / a fresh literal / a delegation to a sibling
+//	          method). Cached plans stay immutable no matter what callers
+//	          do with what they were handed.
+//
+//	ctxloop   Cancellation at sample boundaries (PR 3 contract). In any
+//	          function that takes a context.Context, a condition-controlled
+//	          for loop that never consults the context — no ctx.Err()/
+//	          ctx.Done() and no callee receiving ctx — cannot stop at a
+//	          sample boundary, so a cancelled Plan would run to budget
+//	          exhaustion. Loops with literal trip counts and range loops
+//	          (bounded by data) are exempt.
+//
+//	hotalloc  Zero-alloc hot loops (PR 1 contract, complementing the
+//	          AllocsPerRun regression tests). In packages annotated
+//	          //mcmlint:hotpath, flags per-iteration allocation patterns
+//	          inside loops: append into a slice declared without capacity,
+//	          fmt formatting calls (interface boxing + parsing) outside
+//	          cold error paths, closures capturing outer variables (heap
+//	          escape per iteration), and explicit conversions to any.
+//
+//	guarded   Mutex discipline (Planner/Service concurrency contract).
+//	          Struct fields annotated `// guarded by <mu>` must only be
+//	          read or written inside functions that lock that mutex (or
+//	          that follow the *Locked caller-holds-the-lock naming
+//	          convention, or that are still constructing the value).
+//
+// # Usage
+//
+//	mcmlint ./internal/cpsolver ./internal/search      # direct, on package dirs
+//	mcmlint -enable det,guarded ./...dirs...           # subset of analyzers
+//	go build -o /tmp/mcmlint ./tools/mcmlint
+//	go vet -vettool=/tmp/mcmlint ./...                 # unitchecker protocol (CI)
+//
+// Under go vet the tool implements the cmd/go vettool contract: -V=full
+// prints a stable identity line including the enabled-analyzer set (cmd/go
+// caches results keyed on it; bump lintVersion when rules change), -flags
+// reports no extra flags, and a single *.cfg argument runs one package
+// build unit described by the JSON config. In vet mode the analyzer set is
+// controlled by the MCMLINT_ENABLE / MCMLINT_DISABLE environment variables
+// (comma-separated analyzer names); in direct mode by -enable / -disable.
+// Findings go to stderr as file:line:col diagnostics tagged
+// [mcmlint:<analyzer>]; exit status 2 signals findings, matching vet
+// convention.
+//
+// # Escapes
+//
+// A finding is suppressed by an ignore directive on the flagged line or the
+// line above it:
+//
+//	//mcmlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: an ignore without one is itself a diagnostic, as
+// is an ignore naming an unknown analyzer, an unknown //mcmlint: directive,
+// or a legacy //detlint:ignore (migrate those to //mcmlint:ignore det
+// <reason>). Test files (_test.go) are exempt from all analyzers: tests may
+// time themselves, exercise nondeterminism, and reach into guarded state on
+// purpose.
+//
+// It is stdlib-only (no golang.org/x/tools dependency). Type information
+// comes from the export data cmd/go hands vet tools (fast); when that is
+// unavailable — direct mode, or a toolchain mismatch — it falls back to
+// best-effort source-importer type-checking, and any residual gaps only
+// cost the type-dependent rules their findings (never false positives).
+package main

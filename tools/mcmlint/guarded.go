@@ -1,0 +1,199 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// guardedAnalyzer enforces the mutex discipline the Planner/Service
+// concurrency contract rests on. A struct field annotated with a trailing
+// (or doc) comment
+//
+//	jobs map[string]*Job // guarded by mu
+//
+// must only be read or written inside functions that lock that mutex —
+// anywhere in the function body; the analyzer checks lock acquisition, not
+// critical-section extent. Three escapes reflect the repo's conventions:
+//
+//   - functions whose name ends in "Locked" assert the caller holds the
+//     lock (registerJobLocked);
+//   - a function that itself constructs the value (x := &T{…} / new(T))
+//     may initialize fields before the value is shared;
+//   - //mcmlint:ignore guarded <reason> for everything else.
+//
+// The named mutex must be a sibling field of the same struct; fields
+// guarded by another object's mutex (flight → Service.mu) are documented
+// prose, not checkable annotations, and are left alone.
+var guardedAnalyzer = &Analyzer{
+	Name: "guarded",
+	Doc:  "fields annotated `// guarded by <mu>` must only be accessed by functions that lock that mutex",
+	Run:  runGuarded,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)\bguarded by ([A-Za-z_]\w*)\b`)
+
+func runGuarded(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	guards := guardedFields(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedFunc(pass, fd, guards)
+		}
+	}
+}
+
+// guardedFields collects `guarded by <mu>` field annotations per struct
+// type, validating that the named mutex is a sibling field.
+func guardedFields(pass *Pass) map[string]map[string]string {
+	out := map[string]map[string]string{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				fieldNames := map[string]bool{}
+				for _, f := range st.Fields.List {
+					for _, n := range f.Names {
+						fieldNames[n.Name] = true
+					}
+				}
+				for _, f := range st.Fields.List {
+					mu := guardAnnotation(f)
+					if mu == "" {
+						continue
+					}
+					if !fieldNames[mu] {
+						pass.Reportf(f.Pos(), "field is `guarded by %s` but %s.%s does not exist: the guard must be a sibling field", mu, ts.Name.Name, mu)
+						continue
+					}
+					for _, n := range f.Names {
+						if out[ts.Name.Name] == nil {
+							out[ts.Name.Name] = map[string]string{}
+						}
+						out[ts.Name.Name][n.Name] = mu
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Comment, f.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkGuardedFunc(pass *Pass, fd *ast.FuncDecl, guards map[string]map[string]string) {
+	// Caller-holds-the-lock naming convention.
+	if n := fd.Name.Name; len(n) > len("Locked") && n[len(n)-len("Locked"):] == "Locked" {
+		return
+	}
+	locked := map[string]bool{}      // mutex name -> fd body contains a Lock on it
+	constructed := map[string]bool{} // local vars assigned from &T{…}/T{…}/new(T)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock":
+					if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+						locked[inner.Sel.Name] = true
+					} else if id, ok := sel.X.(*ast.Ident); ok {
+						locked[id.Name] = true // mutex passed as a local / param
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isFreshValue(rhs) {
+					constructed[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		baseT := pass.TypeOf(sel.X)
+		if baseT == nil {
+			return true
+		}
+		if ptr, ok := baseT.(*types.Pointer); ok {
+			baseT = ptr.Elem()
+		}
+		named, ok := baseT.(*types.Named)
+		if !ok {
+			return true
+		}
+		mu, ok := guards[named.Obj().Name()][sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		if locked[mu] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && constructed[id.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s never locks it: lock %s, use the *Locked naming convention if the caller holds it, or annotate why the access is safe",
+			named.Obj().Name(), sel.Sel.Name, mu, fd.Name.Name, mu)
+		return true
+	})
+}
+
+// isFreshValue recognizes construction expressions: the value cannot be
+// shared with another goroutine yet, so field initialization is lock-free
+// by design.
+func isFreshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := e.X.(*ast.CompositeLit)
+		return lit
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// lintVersion keys cmd/go's vet result cache (via -V=full): bump it
+// whenever any analyzer's rules change, or stale results will be served.
+const lintVersion = "v2.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var enable, disable string
+	var wantVersion, wantFlags bool
+	var rest []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			wantVersion = true
+		case a == "-flags":
+			wantFlags = true
+		case strings.HasPrefix(a, "-enable="):
+			enable = strings.TrimPrefix(a, "-enable=")
+		case strings.HasPrefix(a, "-disable="):
+			disable = strings.TrimPrefix(a, "-disable=")
+		default:
+			rest = append(rest, a)
+		}
+	}
+	// Vet mode has no flag channel from the go vet command line, so the
+	// analyzer set comes from the environment there; explicit flags win.
+	if enable == "" {
+		enable = os.Getenv("MCMLINT_ENABLE")
+	}
+	if disable == "" {
+		disable = os.Getenv("MCMLINT_DISABLE")
+	}
+	enabled, err := selectAnalyzers(enable, disable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcmlint: %v\n", err)
+		return 1
+	}
+	switch {
+	case wantVersion:
+		// cmd/go tool-identity probe; the output is the cache key, so the
+		// enabled set must be part of it.
+		fmt.Printf("mcmlint version %s enabled=%s\n", lintVersion, strings.Join(analyzerNames(enabled), ","))
+		return 0
+	case wantFlags:
+		// cmd/go flag discovery: no flags are exposed through go vet
+		// (use MCMLINT_ENABLE / MCMLINT_DISABLE there).
+		fmt.Println("[]")
+		return 0
+	case len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg"):
+		return runVetUnit(rest[0], enabled)
+	case len(rest) == 0:
+		fmt.Fprintln(os.Stderr, "usage: mcmlint [-enable a,b] [-disable c] <package-dir>... | mcmlint <unit>.cfg (go vet -vettool)")
+		return 1
+	default:
+		return runDirs(rest, enabled)
+	}
+}
+
+// selectAnalyzers resolves the enable/disable comma lists against the
+// registry: an empty enable list means all analyzers; disable then removes.
+func selectAnalyzers(enable, disable string) ([]*Analyzer, error) {
+	picked := allAnalyzers
+	if enable != "" {
+		set, err := nameSet(enable)
+		if err != nil {
+			return nil, err
+		}
+		picked = nil
+		for _, a := range allAnalyzers {
+			if set[a.Name] {
+				picked = append(picked, a)
+			}
+		}
+	}
+	if disable != "" {
+		set, err := nameSet(disable)
+		if err != nil {
+			return nil, err
+		}
+		var kept []*Analyzer
+		for _, a := range picked {
+			if !set[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no analyzers enabled (have %s)", strings.Join(analyzerNames(allAnalyzers), ", "))
+	}
+	return picked, nil
+}
+
+func nameSet(csv string) (map[string]bool, error) {
+	set := map[string]bool{}
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if analyzerByName(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(analyzerNames(allAnalyzers), ", "))
+		}
+		set[name] = true
+	}
+	return set, nil
+}
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that mcmlint
+// needs (the full struct is x/tools' unitchecker.Config; unknown fields
+// are ignored by encoding/json). ImportMap and PackageFile let the loader
+// type-check against prebuilt export data instead of compiling
+// dependencies from source.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// runVetUnit handles one go-vet build unit. Dependency units arrive with
+// VetxOnly=true and are skipped (mcmlint exports no facts); target units
+// are parsed, type-checked, and linted. The facts file must exist
+// afterwards or cmd/go reports the tool as failed, so an empty one is
+// always written.
+func runVetUnit(cfgPath string, enabled []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcmlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mcmlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "mcmlint: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	u, err := loadUnit(cfg.ImportPath, cfg.Dir, cfg.GoFiles, &exportLookup{
+		importMap:   cfg.ImportMap,
+		packageFile: cfg.PackageFile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcmlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx()
+	return report(lintUnit(u, enabled))
+}
+
+// runDirs lints package directories given directly on the command line.
+func runDirs(dirs []string, enabled []*Analyzer) int {
+	var all []finding
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcmlint: %v\n", err)
+			return 1
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		u, err := loadUnit(dir, dir, files, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcmlint: %s: %v\n", dir, err)
+			return 1
+		}
+		all = append(all, lintUnit(u, enabled)...)
+	}
+	return report(all)
+}
+
+func report(findings []finding) int {
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
+	}
+	return 2
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func names(as []*Analyzer) string { return strings.Join(analyzerNames(as), ",") }
+
+func TestSelectAnalyzers(t *testing.T) {
+	cases := []struct {
+		enable, disable string
+		want            string
+		wantErr         bool
+	}{
+		{"", "", "det,deepcopy,ctxloop,hotalloc,guarded", false},
+		{"det,guarded", "", "det,guarded", false},
+		{"", "hotalloc", "det,deepcopy,ctxloop,guarded", false},
+		{"det,ctxloop", "ctxloop", "det", false},
+		{"nosuch", "", "", true},
+		{"", "nosuch", "", true},
+		{"det", "det", "", true}, // empty set is an error, not a silent no-op
+	}
+	for _, c := range cases {
+		got, err := selectAnalyzers(c.enable, c.disable)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("selectAnalyzers(%q, %q): want error, got %s", c.enable, c.disable, names(got))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("selectAnalyzers(%q, %q): %v", c.enable, c.disable, err)
+			continue
+		}
+		if names(got) != c.want {
+			t.Errorf("selectAnalyzers(%q, %q) = %s, want %s", c.enable, c.disable, names(got), c.want)
+		}
+	}
+}
+
+// TestRunDirsOnFixture exercises the direct (non-vet) entry point end to
+// end: the seeded det fixture must produce findings (exit 2), and
+// disabling det must silence them (exit 0).
+func TestRunDirsOnFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "det")
+	if got := runDirs([]string{dir}, allAnalyzers); got != 2 {
+		t.Errorf("runDirs(%s, all) = %d, want 2 (seeded violations)", dir, got)
+	}
+	only, err := selectAnalyzers("", "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runDirs([]string{dir}, only); got != 0 {
+		t.Errorf("runDirs(%s, -disable=det) = %d, want 0", dir, got)
+	}
+}
+
+// TestVetUnitProtocol drives the unitchecker path with a hand-written cfg:
+// a VetxOnly (dependency) unit must write its facts file and stay silent; a
+// target unit over the fixture must report findings and still write facts.
+func TestVetUnitProtocol(t *testing.T) {
+	tmp := t.TempDir()
+	vetx := filepath.Join(tmp, "unit.vetx")
+	cfgPath := filepath.Join(tmp, "dep.cfg")
+	if err := os.WriteFile(cfgPath, []byte(`{"ImportPath":"p","VetxOnly":true,"VetxOutput":"`+vetx+`"}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got := runVetUnit(cfgPath, allAnalyzers); got != 0 {
+		t.Fatalf("VetxOnly unit: exit %d, want 0", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("VetxOnly unit did not write facts file: %v", err)
+	}
+
+	fixture, err := filepath.Abs(filepath.Join("testdata", "det", "violation.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vetx2 := filepath.Join(tmp, "target.vetx")
+	cfg2 := filepath.Join(tmp, "target.cfg")
+	if err := os.WriteFile(cfg2, []byte(`{"ImportPath":"fixture","GoFiles":["`+fixture+`"],"VetxOutput":"`+vetx2+`"}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got := runVetUnit(cfg2, allAnalyzers); got != 2 {
+		t.Fatalf("target unit: exit %d, want 2 (seeded violations)", got)
+	}
+	if _, err := os.Stat(vetx2); err != nil {
+		t.Fatalf("target unit did not write facts file: %v", err)
+	}
+}
+
+// TestVersionIncludesEnabledSet pins the vet cache-key property: changing
+// the enabled analyzer set must change the -V=full identity line.
+func TestVersionIncludesEnabledSet(t *testing.T) {
+	all, err := selectAnalyzers("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := selectAnalyzers("det", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names(all) == names(some) {
+		t.Fatal("enabled-set strings are identical; the -V cache key would not distinguish configurations")
+	}
+}

@@ -1,0 +1,79 @@
+// Package fixture seeds cancellation-contract violations for the ctxloop
+// golden test: sample-budget loops in context-taking functions must
+// consult the context every iteration.
+package fixture
+
+import "context"
+
+func evalOnce() {}
+
+// search burns its whole budget even after cancellation: nothing in the
+// loop ever looks at ctx.
+func search(ctx context.Context, budget int) {
+	samples := 0
+	for samples < budget { // want "loop never consults ctx"
+		evalOnce()
+		samples++
+	}
+}
+
+// searchChecked is the contract-conforming shape: best-so-far plus
+// ctx.Err() at the sample boundary.
+func searchChecked(ctx context.Context, budget int) error {
+	samples := 0
+	for samples < budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		evalOnce()
+		samples++
+	}
+	return nil
+}
+
+// delegated passes ctx to the callee, which owns the boundary check.
+func delegated(ctx context.Context, budget int) {
+	samples := 0
+	for samples < budget {
+		step(ctx)
+		samples++
+	}
+}
+
+func step(ctx context.Context) { _ = ctx.Err() }
+
+// selecting observes cancellation through the Done channel.
+func selecting(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-work:
+			evalOnce()
+		}
+	}
+}
+
+// retries is exempt: a literal trip count is a bounded retry, not a
+// sample budget.
+func retries(ctx context.Context) {
+	for i := 0; i < 3; i++ {
+		evalOnce()
+	}
+}
+
+// rangeLoop is exempt: bounded by data, not by a budget.
+func rangeLoop(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// noCtx is exempt: without a context parameter there is nothing to check.
+func noCtx(budget int) {
+	for i := 0; i < budget; i++ {
+		evalOnce()
+	}
+}

@@ -1,0 +1,82 @@
+// Package fixture seeds deepcopy-contract violations for the golden test:
+// a miniature of the real plan cache, where every result crossing the
+// storage boundary must pass through the clone helper.
+package fixture
+
+import "sync"
+
+type result struct {
+	partition []int
+	history   []float64
+}
+
+// cloneRes deep-copies a result; the annotation below names it as the
+// store's boundary helper.
+func cloneRes(r *result) *result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.partition = append([]int(nil), r.partition...)
+	c.history = append([]float64(nil), r.history...)
+	return &c
+}
+
+// store is an LRU-like retention boundary: entries must stay immutable no
+// matter what callers do with what they were handed.
+//
+//mcmlint:deepcopy cloneRes
+type store struct {
+	mu    sync.Mutex
+	items map[string]*result
+}
+
+// get leaks the stored pointer: the caller can mutate the cache entry.
+func (s *store) get(key string) (*result, bool) {
+	r, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	return r, true // want "value returned from get without passing through cloneRes"
+}
+
+// getClone is the contract-conforming read path.
+func (s *store) getClone(key string) (*result, bool) {
+	r, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	return cloneRes(r), true
+}
+
+// put retains the caller's pointer: the caller can mutate the entry later.
+func (s *store) put(key string, r *result) {
+	s.items[key] = r // want "value stored by put without passing through cloneRes"
+}
+
+// putClone is the contract-conforming write path.
+func (s *store) putClone(key string, r *result) {
+	s.items[key] = cloneRes(r)
+}
+
+type entry struct {
+	key string
+	res *result
+}
+
+// retain smuggles the caller's pointer in through a composite literal.
+func (s *store) retain(key string, r *result, sink map[string]*entry) {
+	sink[key] = &entry{key: key, res: r} // want "value retained in a composite literal by retain"
+}
+
+// retainClone is the conforming composite-literal path.
+func (s *store) retainClone(key string, r *result, sink map[string]*entry) {
+	sink[key] = &entry{key: key, res: cloneRes(r)}
+}
+
+// delegate may hand out a sibling method's result: the sibling is itself
+// checked, so delegation does not launder a violation.
+func (s *store) delegate(key string) (*result, bool) { return s.getClone(key) }
+
+// fresh may return a brand-new literal: it is owned, not shared.
+func (s *store) fresh() *result { return &result{} }

@@ -1,0 +1,57 @@
+// Package fixture seeds determinism-contract violations for the det
+// analyzer's golden test: each `want` line is a pattern that has
+// historically broken byte-reproducibility of plans and fingerprints.
+//
+//mcmlint:deterministic
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() } // want "time.Now in a deterministic package"
+
+func draw() int { return rand.Intn(4) } // want "global math/rand state"
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand state"
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "ranging over a map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the accepted deterministic idiom: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// seeded is the accepted RNG idiom: every draw flows from an explicit
+// *rand.Rand derived from the scenario seed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(4)
+}
+
+// sliceRange is fine: slice iteration order is deterministic.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+//mcmlint:ignore det fixture: boot stamp is allowed to be wall-clock here
+func ignoredStamp() time.Time { return time.Now() }

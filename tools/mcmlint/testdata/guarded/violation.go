@@ -1,0 +1,62 @@
+// Package fixture seeds mutex-discipline violations for the guarded
+// golden test: annotated fields accessed without their lock.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits and misses share one annotation.
+	hits, misses int // guarded by mu
+	unguarded    int
+}
+
+// inc is the conforming shape.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// racyRead reads a guarded field without the lock.
+func (c *counter) racyRead() int {
+	return c.n // want "counter.n is guarded by mu"
+}
+
+// racyStats shows the shared annotation guards every name in the group.
+func (c *counter) racyStats() int {
+	return c.hits + c.misses // want "counter.hits is guarded by mu" // want "counter.misses is guarded by mu"
+}
+
+// statsLocked follows the caller-holds-the-lock naming convention.
+func (c *counter) statsLocked() int { return c.hits + c.misses }
+
+// newCounter constructs the value: nothing else can see it yet, so
+// initialization is lock-free by design.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// bump is a plain function, not a method — the discipline still applies.
+func bump(c *counter) {
+	c.n++ // want "counter.n is guarded by mu"
+}
+
+// bumpSafely locks before touching the field.
+func bumpSafely(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// free is never flagged: the field carries no annotation.
+func free(c *counter) int { return c.unguarded }
+
+type broken struct {
+	x int // guarded by lock // want "broken.lock does not exist"
+}
+
+func useBroken(b *broken) int { return b.x }

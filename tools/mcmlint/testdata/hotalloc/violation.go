@@ -1,0 +1,103 @@
+// Package fixture seeds hot-loop allocation-contract violations for the
+// hotalloc golden test: each flagged line allocates once per iteration in
+// a package that promises zero-alloc steady state.
+//
+//mcmlint:hotpath
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// grow reallocates on every growth step: the slice was declared without
+// capacity.
+func grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "declared without capacity"
+	}
+	return out
+}
+
+// prealloc is the conforming shape.
+func prealloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// format boxes its arguments and re-parses the verb string per iteration.
+func format(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x)) // want "fmt.Sprintf inside a hot loop"
+	}
+	return out
+}
+
+// coldError is exempt: the fmt.Errorf runs at most once, on the exit path.
+func coldError(xs []int) error {
+	for i, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative value at %d", i)
+		}
+	}
+	return nil
+}
+
+// closures allocates a closure per iteration: the capture of x and total
+// forces a heap escape.
+func closures(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		f := func() int { return x + total } // want "closure captures"
+		total += f()
+	}
+	return total
+}
+
+// hoisted is the conforming shape: the closure is built once.
+func hoisted(xs []int) int {
+	total := 0
+	add := func(x int) { total += x }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// searchEach is conforming: sort.Search calls the predicate and discards
+// it, so the capturing literal never escapes despite living in the loop.
+func searchEach(tables [][]int, keys []int) int {
+	hits := 0
+	for i, key := range keys {
+		t := tables[i%len(tables)]
+		j := sort.Search(len(t), func(j int) bool { return t[j] >= key })
+		if j < len(t) && t[j] == key {
+			hits++
+		}
+	}
+	return hits
+}
+
+// shuffleEach is conforming for the same reason: rand.Rand.Shuffle never
+// retains its swap function.
+func shuffleEach(rng *rand.Rand, decks [][]int) {
+	for _, d := range decks {
+		deck := d
+		rng.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	}
+}
+
+// boxing converts to an interface per iteration.
+func boxing(xs []int) []any {
+	out := make([]any, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, any(x)) // want "boxes the value per iteration"
+	}
+	return out
+}
