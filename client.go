@@ -120,7 +120,8 @@ func (e *APIError) Error() string {
 }
 
 // Is maps the daemon's HTTP status codes back to the service's sentinel
-// errors: 429 → ErrBusy, 503 → ErrServiceClosed, 409 → ErrPolicyRequired.
+// errors: 429 → ErrBusy, 503 → ErrServiceClosed, 409 → ErrPolicyRequired,
+// 400 → ErrInvalidRequest.
 func (e *APIError) Is(target error) bool {
 	switch target {
 	case ErrBusy:
@@ -129,6 +130,8 @@ func (e *APIError) Is(target error) bool {
 		return e.StatusCode == http.StatusServiceUnavailable
 	case ErrPolicyRequired:
 		return e.StatusCode == http.StatusConflict
+	case ErrInvalidRequest:
+		return e.StatusCode == http.StatusBadRequest
 	}
 	return false
 }
@@ -360,9 +363,10 @@ func (c *Client) Health(ctx context.Context) error {
 
 func optionsToWire(opts PlanOptions) PlanOptionsWire {
 	return PlanOptionsWire{
-		Method:       opts.Method,
-		SampleBudget: opts.SampleBudget,
-		Seed:         opts.Seed,
-		UseSimulator: opts.UseSimulator,
+		Method:           opts.Method,
+		SampleBudget:     opts.SampleBudget,
+		Seed:             opts.Seed,
+		UseSimulator:     opts.UseSimulator,
+		SeedFromAnalytic: opts.SeedFromAnalytic,
 	}
 }

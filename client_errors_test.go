@@ -23,10 +23,11 @@ func TestClientErrorMappingTable(t *testing.T) {
 		message  string // expected APIError.Message
 	}{
 		{
-			name:    "400 bad request has no sentinel",
-			status:  http.StatusBadRequest,
-			body:    `{"error":"mcmpart: SampleBudget -4 is negative; use 0 for the default (200)"}`,
-			message: "mcmpart: SampleBudget -4 is negative; use 0 for the default (200)",
+			name:     "400 bad request is ErrInvalidRequest",
+			status:   http.StatusBadRequest,
+			body:     `{"error":"mcmpart: invalid request: SampleBudget -4 is negative; use 0 for the default (200)"}`,
+			sentinel: mcmpart.ErrInvalidRequest,
+			message:  "mcmpart: invalid request: SampleBudget -4 is negative; use 0 for the default (200)",
 		},
 		{
 			name:     "409 conflict is ErrPolicyRequired",
@@ -56,13 +57,14 @@ func TestClientErrorMappingTable(t *testing.T) {
 			message: "upstream exploded",
 		},
 		{
-			name:    "empty error field falls back to raw body",
-			status:  http.StatusBadRequest,
-			body:    `{"error":""}`,
-			message: `{"error":""}`,
+			name:     "empty error field falls back to raw body",
+			status:   http.StatusBadRequest,
+			body:     `{"error":""}`,
+			sentinel: mcmpart.ErrInvalidRequest, // 400 maps by status, whatever the body
+			message:  `{"error":""}`,
 		},
 	}
-	sentinels := []error{mcmpart.ErrBusy, mcmpart.ErrServiceClosed, mcmpart.ErrPolicyRequired}
+	sentinels := []error{mcmpart.ErrBusy, mcmpart.ErrServiceClosed, mcmpart.ErrPolicyRequired, mcmpart.ErrInvalidRequest}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -141,5 +143,63 @@ func TestClientSentinelsRoundTripRealDaemon(t *testing.T) {
 	svc.Close()
 	if _, err := cl.Plan(ctx, g, mcmpart.PlanOptions{}); !errors.Is(err, mcmpart.ErrServiceClosed) {
 		t.Fatalf("plan after Close: err = %v, want ErrServiceClosed", err)
+	}
+}
+
+// TestInvalidRequestSentinel pins the ErrInvalidRequest contract end to
+// end: every request-validation failure carries the sentinel in-process
+// (Planner and Service alike), and over the wire it becomes a 400 that
+// Client maps back to the same sentinel — so callers branch on
+// errors.Is(err, ErrInvalidRequest) identically on both sides.
+func TestInvalidRequestSentinel(t *testing.T) {
+	ctx := context.Background()
+	g := smallGraph(t)
+
+	if _, err := mcmpart.NewPlanner(nil); !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("nil package: err = %v, want ErrInvalidRequest", err)
+	}
+	pl, err := mcmpart.NewPlanner(mcmpart.Dev4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Plan(ctx, nil, mcmpart.PlanOptions{}); !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("nil graph: err = %v, want ErrInvalidRequest", err)
+	}
+	if _, err := pl.Plan(ctx, g, mcmpart.PlanOptions{SampleBudget: -4}); !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("negative budget: err = %v, want ErrInvalidRequest", err)
+	}
+	if _, err := pl.Plan(ctx, g, mcmpart.PlanOptions{Method: "telepathy"}); !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("unknown method: err = %v, want ErrInvalidRequest", err)
+	}
+	if _, err := pl.Pretrain(ctx, nil, mcmpart.PretrainOptions{TotalSamples: -1}); !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("negative pretrain budget: err = %v, want ErrInvalidRequest", err)
+	}
+
+	svc, err := mcmpart.NewService(mcmpart.Dev4(), mcmpart.ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Submit(ctx, mcmpart.PlanRequest{}); !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("Submit nil graph: err = %v, want ErrInvalidRequest", err)
+	}
+
+	srv := httptest.NewServer(mcmpart.NewHTTPHandler(svc))
+	defer srv.Close()
+	cl := mcmpart.NewClient(srv.URL, srv.Client())
+	_, err = cl.Plan(ctx, g, mcmpart.PlanOptions{SampleBudget: -4})
+	if !errors.Is(err, mcmpart.ErrInvalidRequest) {
+		t.Fatalf("over HTTP: err = %v, want ErrInvalidRequest", err)
+	}
+	var ae *mcmpart.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over HTTP: err = %v, want *APIError with status 400", err)
+	}
+
+	// The ErrNoPlan sentinel's text is the historical message prefix: the
+	// budget-exhausted path appends " within %d samples" to it, keeping
+	// the wire-visible string exactly what pre-sentinel clients logged.
+	if got := mcmpart.ErrNoPlan.Error(); got != "mcmpart: no valid partition found" {
+		t.Fatalf("ErrNoPlan text drifted: %q", got)
 	}
 }

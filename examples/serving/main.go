@@ -50,6 +50,7 @@ func main() {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
 	server := &http.Server{Handler: mcmpart.NewHTTPHandler(svc)}
+	//mcmlint:ignore goleak Serve returns when the deferred server.Close runs; the example exits right after
 	go server.Serve(ln)
 	defer server.Close()
 	cl := mcmpart.NewClient("http://"+ln.Addr().String(), nil)

@@ -276,6 +276,10 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrPolicyRequired):
 		// A servable configuration issue, not a malformed request.
 		code = http.StatusConflict
+	case errors.Is(err, ErrInvalidRequest):
+		// Explicit, though it matches the default: the sentinel is part of
+		// the wire contract and must stay 400 even if the default moves.
+		code = http.StatusBadRequest
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }

@@ -21,6 +21,7 @@
 //
 //mcmlint:deterministic
 //mcmlint:hotpath
+//mcmlint:errcontract
 package parallel
 
 import (

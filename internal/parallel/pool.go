@@ -29,7 +29,7 @@ type Pool struct {
 	tasks   chan func()
 	wg      sync.WaitGroup
 	mu      sync.Mutex
-	closed  bool
+	closed  bool // guarded by mu
 	workers int
 }
 

@@ -18,6 +18,7 @@
 //     O(1) and pay one file read per first-touch key.
 //
 //mcmlint:deterministic
+//mcmlint:errcontract
 package plancache
 
 import (
@@ -75,8 +76,8 @@ type Store struct {
 	logf func(format string, args ...any)
 
 	mu    sync.Mutex
-	seq   uint64 // temp-file uniquifier
-	stats Stats
+	seq   uint64 // temp-file uniquifier; guarded by mu
+	stats Stats  // guarded by mu
 }
 
 // Open creates (if needed) and opens a store rooted at dir. logf receives

@@ -33,6 +33,7 @@
 // notes; cmd/mcmexp regenerates every table and figure of the paper.
 //
 //mcmlint:deterministic
+//mcmlint:errcontract
 package mcmpart
 
 import (

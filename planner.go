@@ -79,7 +79,7 @@ func (o PlanOptions) normalized() (PlanOptions, error) {
 	switch o.Method {
 	case MethodGreedy, MethodRandom, MethodSA, MethodRL, MethodZeroShot, MethodFineTune, MethodAnalytic:
 	default:
-		return o, fmt.Errorf("mcmpart: unknown method %q", o.Method)
+		return o, fmt.Errorf("%w: unknown method %q", ErrInvalidRequest, o.Method)
 	}
 	if o.Method == MethodGreedy || o.Method == MethodAnalytic {
 		// Neither method searches, so there is nothing to seed; canonical
@@ -87,13 +87,13 @@ func (o PlanOptions) normalized() (PlanOptions, error) {
 		o.SeedFromAnalytic = false
 	}
 	if o.SampleBudget < 0 {
-		return o, fmt.Errorf("mcmpart: SampleBudget %d is negative; use 0 for the default (200)", o.SampleBudget)
+		return o, fmt.Errorf("%w: SampleBudget %d is negative; use 0 for the default (200)", ErrInvalidRequest, o.SampleBudget)
 	}
 	if o.SampleBudget == 0 {
 		o.SampleBudget = 200
 	}
 	if o.Seed < 0 {
-		return o, fmt.Errorf("mcmpart: Seed %d is negative; seeds are non-negative (0 selects the default seed 1)", o.Seed)
+		return o, fmt.Errorf("%w: Seed %d is negative; seeds are non-negative (0 selects the default seed 1)", ErrInvalidRequest, o.Seed)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -145,13 +145,13 @@ type PretrainOptions struct {
 // descriptive errors instead of silently training nothing.
 func (o PretrainOptions) normalized() (PretrainOptions, error) {
 	if o.TotalSamples < 0 {
-		return o, fmt.Errorf("mcmpart: TotalSamples %d is negative; use 0 for the default (2000)", o.TotalSamples)
+		return o, fmt.Errorf("%w: TotalSamples %d is negative; use 0 for the default (2000)", ErrInvalidRequest, o.TotalSamples)
 	}
 	if o.TotalSamples == 0 {
 		o.TotalSamples = 2000
 	}
 	if o.Checkpoints < 0 {
-		return o, fmt.Errorf("mcmpart: Checkpoints %d is negative; use 0 for the default (10)", o.Checkpoints)
+		return o, fmt.Errorf("%w: Checkpoints %d is negative; use 0 for the default (10)", ErrInvalidRequest, o.Checkpoints)
 	}
 	if o.Checkpoints == 0 {
 		// Default 10, capped so a small explicit TotalSamples still works.
@@ -160,22 +160,22 @@ func (o PretrainOptions) normalized() (PretrainOptions, error) {
 			o.Checkpoints = o.TotalSamples
 		}
 	} else if o.Checkpoints > o.TotalSamples {
-		return o, fmt.Errorf("mcmpart: %d checkpoints cannot be cut from %d total samples", o.Checkpoints, o.TotalSamples)
+		return o, fmt.Errorf("%w: %d checkpoints cannot be cut from %d total samples", ErrInvalidRequest, o.Checkpoints, o.TotalSamples)
 	}
 	if o.ValidationSamples < 0 {
-		return o, fmt.Errorf("mcmpart: ValidationSamples %d is negative; use 0 for the default (8)", o.ValidationSamples)
+		return o, fmt.Errorf("%w: ValidationSamples %d is negative; use 0 for the default (8)", ErrInvalidRequest, o.ValidationSamples)
 	}
 	if o.ValidationSamples == 0 {
 		o.ValidationSamples = 8
 	}
 	if o.ValidationGraphs < 0 {
-		return o, fmt.Errorf("mcmpart: ValidationGraphs %d is negative; use 0 for the default (one fifth of the corpus)", o.ValidationGraphs)
+		return o, fmt.Errorf("%w: ValidationGraphs %d is negative; use 0 for the default (one fifth of the corpus)", ErrInvalidRequest, o.ValidationGraphs)
 	}
 	if o.Workers < 0 {
-		return o, fmt.Errorf("mcmpart: Workers %d is negative; use 0 for the process default", o.Workers)
+		return o, fmt.Errorf("%w: Workers %d is negative; use 0 for the process default", ErrInvalidRequest, o.Workers)
 	}
 	if o.Seed < 0 {
-		return o, fmt.Errorf("mcmpart: Seed %d is negative; seeds are non-negative (0 selects the default seed 1)", o.Seed)
+		return o, fmt.Errorf("%w: Seed %d is negative; seeds are non-negative (0 selects the default seed 1)", ErrInvalidRequest, o.Seed)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -238,7 +238,7 @@ type Planner struct {
 // validated once here; every subsequent call reuses it.
 func NewPlanner(pkg *Package) (*Planner, error) {
 	if pkg == nil {
-		return nil, fmt.Errorf("mcmpart: nil package")
+		return nil, fmt.Errorf("%w: nil package", ErrInvalidRequest)
 	}
 	if err := pkg.Validate(); err != nil {
 		return nil, err
@@ -357,8 +357,8 @@ func (pl *Planner) baseline(g *Graph, ev eval.Evaluator) (Partition, Verdict, er
 		if base.FailReason != "" {
 			reason = " (" + base.FailReason + ")"
 		}
-		return nil, base, fmt.Errorf("mcmpart: greedy baseline is invalid on %s%s; the graph may not fit the package",
-			g.Name(), reason)
+		return nil, base, fmt.Errorf("%w: greedy baseline is invalid on %s%s; the graph may not fit the package",
+			ErrNoPlan, g.Name(), reason)
 	}
 	return greedy, base, nil
 }
@@ -395,7 +395,7 @@ func (pl *Planner) newEnv(g *Graph, gctx *rl.GraphContext, ev eval.Evaluator) (*
 // already paid for.
 func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Result, error) {
 	if g == nil {
-		return nil, fmt.Errorf("mcmpart: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", ErrInvalidRequest)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -476,13 +476,13 @@ func (pl *Planner) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Resul
 		_, runErr = rl.FineTune(ctx, installed.Clone(), env, ftPPO, opts.SampleBudget, rng)
 	default:
 		// normalized() already rejected unknown methods.
-		return nil, fmt.Errorf("mcmpart: unknown method %q", opts.Method)
+		return nil, fmt.Errorf("%w: unknown method %q", ErrInvalidRequest, opts.Method)
 	}
 	if env.Best == nil {
 		if runErr != nil {
 			return nil, runErr
 		}
-		return nil, fmt.Errorf("mcmpart: no valid partition found within %d samples", env.Samples)
+		return nil, fmt.Errorf("%w within %d samples", ErrNoPlan, env.Samples)
 	}
 	return &Result{
 		Partition:   env.Best,
@@ -562,7 +562,7 @@ func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainO
 	}
 	for i, g := range graphs {
 		if g == nil {
-			return nil, fmt.Errorf("mcmpart: pre-training corpus graph %d is nil", i)
+			return nil, fmt.Errorf("%w: pre-training corpus graph %d is nil", ErrInvalidRequest, i)
 		}
 	}
 	if opts.ValidationGraphs == 0 {
@@ -572,8 +572,8 @@ func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainO
 		}
 	}
 	if len(graphs) < 2 || opts.ValidationGraphs >= len(graphs) {
-		return nil, fmt.Errorf("mcmpart: pre-training needs at least one training and one validation graph (%d graphs, %d held out)",
-			len(graphs), opts.ValidationGraphs)
+		return nil, fmt.Errorf("%w: pre-training needs at least one training and one validation graph (%d graphs, %d held out)",
+			ErrInvalidRequest, len(graphs), opts.ValidationGraphs)
 	}
 	train := graphs[:len(graphs)-opts.ValidationGraphs]
 	validation := graphs[len(graphs)-opts.ValidationGraphs:]
@@ -637,7 +637,7 @@ func (pl *Planner) Pretrain(ctx context.Context, graphs []*Graph, opts PretrainO
 func (pl *Planner) SavePolicy(path string) error {
 	policy, _ := pl.snapshotPolicy()
 	if policy == nil {
-		return fmt.Errorf("mcmpart: planner has no policy to save; run Pretrain or LoadPolicy first")
+		return fmt.Errorf("%w: nothing to save; run Pretrain or LoadPolicy first", ErrPolicyRequired)
 	}
 	return rl.SaveArtifact(path, policy, pl.pkg)
 }

@@ -33,6 +33,16 @@ var (
 	// fails with a typed error and the service keeps serving — one
 	// poisoned request must not take the node down.
 	ErrPlanPanic = errors.New("mcmpart: plan panicked")
+	// ErrInvalidRequest wraps every request-validation failure — a nil
+	// graph, a negative budget or seed, an unknown method. Over HTTP it
+	// maps to 400 Bad Request, and Client maps 400 back to it, so
+	// errors.Is(err, ErrInvalidRequest) distinguishes "fix the request"
+	// from transient service states in-process and across the wire alike.
+	ErrInvalidRequest = errors.New("mcmpart: invalid request")
+	// ErrNoPlan is returned by Plan when the search exhausts its sample
+	// budget without finding any valid partition, and by the baseline
+	// stage when even the greedy layout does not fit the package.
+	ErrNoPlan = errors.New("mcmpart: no valid partition found")
 )
 
 // ServiceOptions configure NewService. The zero value is a working
@@ -226,9 +236,9 @@ type flight struct {
 	graph   *Graph
 	graphFP string
 
-	leader     *Job
-	leaderOpts PlanOptions
-	followers  []*flightFollower
+	leader     *Job              // guarded by Service.mu
+	leaderOpts PlanOptions       // guarded by Service.mu
+	followers  []*flightFollower // guarded by Service.mu
 	// done closes when the flight resolves (result, error, or abandoned
 	// after the last waiter cancelled) — the signal follower watchers and
 	// promotion exit on.
@@ -242,8 +252,8 @@ type flightFollower struct {
 	// promoted marks a follower that took over as leader after the
 	// previous leader cancelled; detached marks one that cancelled while
 	// waiting. Either way it is no longer in the followers slice.
-	promoted bool
-	detached bool
+	promoted bool // guarded by Service.mu
+	detached bool // guarded by Service.mu
 }
 
 // NewService builds a service for one package. If opts.PolicyDir holds a
@@ -257,13 +267,13 @@ func NewService(pkg *Package, opts ServiceOptions) (*Service, error) {
 		return nil, err
 	}
 	if opts.Workers < 0 {
-		return nil, fmt.Errorf("mcmpart: Workers %d is negative; use 0 for the process default", opts.Workers)
+		return nil, fmt.Errorf("%w: Workers %d is negative; use 0 for the process default", ErrInvalidRequest, opts.Workers)
 	}
 	if opts.QueueDepth < 0 {
-		return nil, fmt.Errorf("mcmpart: QueueDepth %d is negative; use 0 for the default (4x workers)", opts.QueueDepth)
+		return nil, fmt.Errorf("%w: QueueDepth %d is negative; use 0 for the default (4x workers)", ErrInvalidRequest, opts.QueueDepth)
 	}
 	if opts.MaxRetainedJobs < 0 {
-		return nil, fmt.Errorf("mcmpart: MaxRetainedJobs %d is negative; use 0 for the default (1024)", opts.MaxRetainedJobs)
+		return nil, fmt.Errorf("%w: MaxRetainedJobs %d is negative; use 0 for the default (1024)", ErrInvalidRequest, opts.MaxRetainedJobs)
 	}
 	cacheEntries := opts.CacheEntries
 	if cacheEntries == 0 {
@@ -355,11 +365,11 @@ func (s *Service) ReloadPolicies() error {
 // policy directory as the next version for this package.
 func (s *Service) SavePolicyToRegistry() error {
 	if s.registry == nil {
-		return fmt.Errorf("mcmpart: service has no policy directory")
+		return fmt.Errorf("%w: service has no policy directory", ErrInvalidRequest)
 	}
 	policy, _ := s.planner.snapshotPolicy()
 	if policy == nil {
-		return fmt.Errorf("mcmpart: planner has no policy to save; run Pretrain or LoadPolicy first")
+		return fmt.Errorf("%w: nothing to save; run Pretrain or LoadPolicy first", ErrPolicyRequired)
 	}
 	_, err := s.registry.Save(policy, s.planner.Package())
 	return err
@@ -498,7 +508,7 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 		return nil, err
 	}
 	if req.Graph == nil {
-		return nil, fmt.Errorf("mcmpart: nil graph")
+		return nil, fmt.Errorf("%w: nil graph", ErrInvalidRequest)
 	}
 	if err := req.Graph.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,385 @@
+package main
+
+// Intraprocedural control-flow graph over one function body.
+//
+// Blocks hold a flat list of "simple" nodes: plain statements plus the
+// guard expressions of the branching constructs (an *ast.IfStmt's Cond,
+// a switch's Tag, a range's X). Nested block structure never appears
+// inside a block — it is flattened into successor edges — so a dataflow
+// client can fold over block.nodes without re-walking control flow.
+//
+// Return, panic-like calls, goto, break, continue, and fallthrough all
+// terminate the current block; a synthetic exit block joins every
+// function-leaving path, so "facts at exit" is one meet away.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// block is one basic block: straight-line nodes and successor edges.
+type block struct {
+	index int
+	nodes []ast.Node
+	succs []*block
+}
+
+// funcCFG is the CFG of one function (or function-literal) body.
+type funcCFG struct {
+	blocks []*block // creation order; blocks[0] is entry, last is exit
+	entry  *block
+	exit   *block
+}
+
+// loopFrame is one enclosing breakable construct during the build:
+// loops carry a continue target, switch/select only a break target.
+type loopFrame struct {
+	label      string
+	breakTo    *block
+	continueTo *block // nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *block // nil while the current path is terminated
+	frames []loopFrame
+	labels map[string]*block
+	gotos  []pendingGoto
+	// fallthroughTo is the next case-clause body of the innermost switch,
+	// the target of an ast.BranchStmt{Tok: FALLTHROUGH}.
+	fallthroughTo *block
+	// pendingLabel is the label of an immediately enclosing LabeledStmt,
+	// consumed by the next loop/switch construct for labeled break/continue.
+	pendingLabel string
+}
+
+// buildCFG flattens body into basic blocks. It never fails: unresolved
+// jumps (broken source) just drop their edge, and analysis of the
+// resulting graph stays conservative.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, labels: map[string]*block{}}
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	exit := &block{index: -1} // appended (and numbered) last
+	b.g.exit = exit
+	b.stmtList(body.List)
+	b.link(b.cur, exit) // implicit return at the end of the body
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.link(pg.from, target)
+		}
+	}
+	exit.index = len(b.g.blocks)
+	b.g.blocks = append(b.g.blocks, exit)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add appends a node to the current block, starting an unreachable block
+// if the path was terminated (keeps the analysis total over dead code).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.link(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := (*block)(nil)
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd := b.cur
+			join = b.newBlock()
+			b.link(thenEnd, join)
+			b.link(elseEnd, join)
+		} else {
+			join = b.newBlock()
+			b.link(cond, join)
+			b.link(thenEnd, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		exitB := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, exitB)
+		}
+		continueTo := head
+		if post != nil {
+			continueTo = post
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: exitB, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, continueTo)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.link(post, head)
+		}
+		b.cur = exitB
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		body := b.newBlock()
+		exitB := b.newBlock()
+		b.link(head, body)
+		b.link(head, exitB)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: exitB, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.link(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exitB
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body, cc.List == nil
+		}, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			return nil, cc.Body, cc.List == nil
+		}, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		cond := b.cur
+		clauses := make([]*block, 0, len(s.Body.List))
+		for range s.Body.List {
+			blk := b.newBlock()
+			b.link(cond, blk)
+			clauses = append(clauses, blk)
+		}
+		join := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+		for i, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b.cur = clauses[i]
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if s.Label == nil || f.label == s.Label.Name {
+					b.link(b.cur, f.breakTo)
+					break
+				}
+			}
+		case token.CONTINUE:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if f.continueTo == nil {
+					continue
+				}
+				if s.Label == nil || f.label == s.Label.Name {
+					b.link(b.cur, f.continueTo)
+					break
+				}
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			b.link(b.cur, b.fallthroughTo)
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isNoReturnCall(call) {
+			b.link(b.cur, b.g.exit)
+			b.cur = nil
+		}
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch shape: the current
+// block branches to each clause body (and, absent a default clause, to
+// the join); fallthrough chains clause i to clause i+1.
+func (b *cfgBuilder) caseClauses(label string, body *ast.BlockStmt, split func(*ast.CaseClause) ([]ast.Node, []ast.Stmt, bool), allowFallthrough bool) {
+	cond := b.cur
+	type clause struct {
+		blk       *block
+		nodes     []ast.Node
+		stmts     []ast.Stmt
+		isDefault bool
+	}
+	clauses := make([]clause, 0, len(body.List))
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		nodes, stmts, isDefault := split(cc)
+		blk := b.newBlock()
+		b.link(cond, blk)
+		if isDefault {
+			hasDefault = true
+		}
+		clauses = append(clauses, clause{blk: blk, nodes: nodes, stmts: stmts, isDefault: isDefault})
+	}
+	join := b.newBlock()
+	if !hasDefault {
+		b.link(cond, join)
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+	savedFT := b.fallthroughTo
+	for i, cl := range clauses {
+		b.fallthroughTo = nil
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTo = clauses[i+1].blk
+		}
+		b.cur = cl.blk
+		for _, n := range cl.nodes {
+			b.add(n)
+		}
+		b.stmtList(cl.stmts)
+		b.link(b.cur, join)
+	}
+	b.fallthroughTo = savedFT
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// isNoReturnCall recognizes calls that never return: panic and the
+// conventional fatal helpers (os.Exit, log.Fatal*, runtime.Goexit,
+// testing's t.Fatal*). Receiver-based Fatal/Fatalf matches any receiver —
+// over-approximating no-return only prunes paths, which is conservative
+// for a must-analysis.
+func isNoReturnCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit":
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "os" {
+				return true
+			}
+		case "Goexit":
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "runtime" {
+				return true
+			}
+		case "Fatal", "Fatalf", "Fatalln", "FailNow":
+			return true
+		}
+	}
+	return false
+}

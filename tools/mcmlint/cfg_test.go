@@ -1,0 +1,275 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody parses src as the body of `func f() { ... }` and returns
+// its CFG.
+func parseFuncBody(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+// renderCFG prints a CFG as "b<i>[<nodes>]" plus "-> succ succ", one block
+// per "; "-joined segment, in creation order. The last block is always the
+// synthetic exit.
+func renderCFG(g *funcCFG) string {
+	parts := make([]string, 0, len(g.blocks))
+	for _, b := range g.blocks {
+		s := fmt.Sprintf("b%d[%d]", b.index, len(b.nodes))
+		if len(b.succs) > 0 {
+			tos := make([]string, len(b.succs))
+			for i, t := range b.succs {
+				tos[i] = fmt.Sprintf("%d", t.index)
+			}
+			s += "->" + strings.Join(tos, " ")
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// TestBuildCFGShapes pins the block structure the builder produces for
+// each control-flow shape: node counts, edges, and the synthetic exit.
+func TestBuildCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straight line",
+			body: `a(); b()`,
+			want: "b0[2]->1; b1[0]",
+		},
+		{
+			name: "if else",
+			body: `a()
+if c() { b() } else { d() }
+e()`,
+			want: "b0[2]->1 2; b1[1]->3; b2[1]->3; b3[1]->4; b4[0]",
+		},
+		{
+			name: "if without else",
+			body: `if c() { b() }
+e()`,
+			want: "b0[1]->1 2; b1[1]->2; b2[1]->3; b3[0]",
+		},
+		{
+			name: "three clause for",
+			body: `for i := 0; i < n; i++ { b() }
+e()`,
+			want: "b0[1]->1; b1[1]->2 4; b2[1]->3; b3[1]->1; b4[1]->5; b5[0]",
+		},
+		{
+			name: "infinite for with break and continue",
+			body: `for {
+	if c() { break }
+	if d() { continue }
+	b()
+}
+e()`,
+			want: "b0[0]->1; b1[0]->2; b2[1]->4 5; b3[1]->8; b4[0]->3; b5[1]->6 7; b6[0]->1; b7[1]->1; b8[0]",
+		},
+		{
+			name: "range loop",
+			body: `for _, v := range xs { b(v) }
+e()`,
+			want: "b0[1]->1; b1[0]->2 3; b2[1]->1; b3[1]->4; b4[0]",
+		},
+		{
+			name: "goto backward",
+			body: `a()
+loop:
+	b()
+	if c() { goto loop }
+	e()`,
+			want: "b0[1]->1; b1[2]->2 3; b2[0]->1; b3[1]->4; b4[0]",
+		},
+		{
+			name: "early return with defer",
+			body: `defer u()
+if c() { return }
+b()`,
+			want: "b0[2]->1 2; b1[1]->3; b2[1]->3; b3[0]",
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: `switch x() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	d()
+}
+e()`,
+			want: "b0[1]->1 2 3; b1[2]->2; b2[2]->4; b3[1]->4; b4[1]->5; b5[0]",
+		},
+		{
+			name: "switch without default falls through to join",
+			body: `switch x() {
+case 1:
+	a()
+}
+e()`,
+			want: "b0[1]->1 2; b1[2]->2; b2[1]->3; b3[0]",
+		},
+		{
+			name: "select with default",
+			body: `select {
+case <-ch:
+	a()
+default:
+	b()
+}
+e()`,
+			want: "b0[0]->1 2; b1[2]->3; b2[1]->3; b3[1]->4; b4[0]",
+		},
+		{
+			name: "panic terminates the path",
+			body: `if c() { panic("x") }
+e()`,
+			want: "b0[1]->1 2; b1[1]->3; b2[1]->3; b3[0]",
+		},
+		{
+			name: "labeled break crosses the inner loop",
+			body: `outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	e()`,
+			want: "b0[0]->1; b1[0]->2; b2[0]->3; b3[0]->5; b4[1]->8; b5[0]->6; b6[0]->4; b7[0]->2; b8[0]",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := parseFuncBody(t, tt.body)
+			if got := renderCFG(g); got != tt.want {
+				t.Errorf("CFG mismatch\n got: %s\nwant: %s", got, tt.want)
+			}
+			if g.blocks[len(g.blocks)-1] != g.exit {
+				t.Errorf("exit block is not last")
+			}
+			if g.blocks[0] != g.entry {
+				t.Errorf("entry block is not first")
+			}
+		})
+	}
+}
+
+// TestMustFlowFixpoint drives the must-analysis with a synthetic gen/kill
+// step: acq(x) adds fact x, rel(x) removes it, and probe() snapshots the
+// facts flowing into it. The table pins the converged facts at the probe
+// and at the synthetic exit — intersection at joins, iteration to fixpoint
+// around loops, and the exit meet over early returns.
+func TestMustFlowFixpoint(t *testing.T) {
+	tests := []struct {
+		name      string
+		body      string
+		wantProbe string // sorted, comma-joined; "-" for no probe
+		wantExit  string
+	}{
+		{
+			name:      "straight line hold",
+			body:      `acq(a); probe(); rel(a)`,
+			wantProbe: "a",
+			wantExit:  "",
+		},
+		{
+			name:      "conditional release kills at the join",
+			body:      `acq(a); if c() { rel(a) }; probe()`,
+			wantProbe: "",
+			wantExit:  "",
+		},
+		{
+			name:      "acquired on both branches survives the join",
+			body:      `if c() { acq(a) } else { acq(a) }; probe()`,
+			wantProbe: "a",
+			wantExit:  "a",
+		},
+		{
+			name:      "loop body release reaches the loop head",
+			body:      `acq(a); for c() { rel(a) }; probe()`,
+			wantProbe: "",
+			wantExit:  "",
+		},
+		{
+			name:      "loop preserving the fact keeps it",
+			body:      `acq(a); for c() { rel(a); acq(a) }; probe()`,
+			wantProbe: "a",
+			wantExit:  "a",
+		},
+		{
+			name:      "early return meets at exit",
+			body:      `acq(a); if c() { return }; rel(a)`,
+			wantProbe: "-",
+			wantExit:  "",
+		},
+		{
+			name:      "goto loop converges",
+			body:      "acq(a)\nloop:\n\trel(a)\n\tif c() { goto loop }\n\tprobe()",
+			wantProbe: "",
+			wantExit:  "",
+		},
+		{
+			name:      "two facts one conditional",
+			body:      `acq(a); acq(b); if c() { rel(b) }; probe()`,
+			wantProbe: "a",
+			wantExit:  "a",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := parseFuncBody(t, tt.body)
+			probe := "-"
+			in := mustFlow(g, facts{}, func(n ast.Node, f facts) {
+				ast.Inspect(n, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fun, ok := call.Fun.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch fun.Name {
+					case "acq":
+						f[call.Args[0].(*ast.Ident).Name] = true
+					case "rel":
+						delete(f, call.Args[0].(*ast.Ident).Name)
+					case "probe":
+						probe = strings.Join(sortedFacts(f), ",")
+					}
+					return true
+				})
+			})
+			exitFacts := in[g.exit]
+			if exitFacts == nil {
+				t.Fatalf("exit block never reached")
+			}
+			if got := strings.Join(sortedFacts(exitFacts), ","); got != tt.wantExit {
+				t.Errorf("exit facts = %q, want %q", got, tt.wantExit)
+			}
+			if probe != tt.wantProbe {
+				t.Errorf("probe facts = %q, want %q", probe, tt.wantProbe)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// errcontractAnalyzer enforces the error-routing contract of packages
+// annotated //mcmlint:errcontract: every error they construct must stay
+// reachable by errors.Is. The HTTP boundary (httpapi/client) routes on
+// sentinels — ErrBusy → 429, ErrServiceClosed → 503, ErrPolicyRequired →
+// 409, ErrInvalidRequest → 400 — so an error built with a naked
+// errors.New deep in a call chain, or wrapped with %v instead of %w,
+// silently falls out of that mapping and turns a typed failure into a
+// generic one.
+//
+// In an annotated package the analyzer flags:
+//
+//   - errors.New calls anywhere except package-level var declarations
+//     (that is where sentinels are declared);
+//   - fmt.Errorf with a constant format string that has no %w verb —
+//     wrap a sentinel or an underlying error instead.
+//
+// Typed errors (types implementing error) pass untouched: errors.Is and
+// errors.As route them by construction. fmt.Errorf with a non-constant
+// format is not flagged (nothing static to check).
+var errcontractAnalyzer = &Analyzer{
+	Name: "errcontract",
+	Doc:  "packages annotated //mcmlint:errcontract may only return sentinel-wrapped (%w) or typed errors",
+	Run:  runErrcontract,
+}
+
+func runErrcontract(pass *Pass) {
+	if !pass.HasDirective("errcontract") {
+		return
+	}
+	for _, file := range pass.Files {
+		errorsName := importName(file, "errors")
+		fmtName := importName(file, "fmt")
+		if errorsName == "" && fmtName == "" {
+			continue
+		}
+		sentinelSites := map[*ast.CallExpr]bool{}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					sentinelSites[call] = true
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case errorsName != "" && pkg.Name == errorsName && sel.Sel.Name == "New":
+				if !sentinelSites[call] {
+					pass.Reportf(call.Pos(), "errors.New outside a package-level sentinel declaration: errors.Is cannot route it; declare a sentinel var and wrap it with fmt.Errorf(\"%%w: ...\", ErrX)")
+				}
+			case fmtName != "" && pkg.Name == fmtName && sel.Sel.Name == "Errorf":
+				if len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !hasWrapVerb(format) {
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w at an error-contract boundary: errors.Is cannot route the result; wrap a sentinel or the underlying error with %%w")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasWrapVerb reports whether the format string contains a %w verb
+// (ignoring %% escapes and skipping flags/width/precision).
+func hasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, and argument indexes up to the verb.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == 'w' {
+			return true
+		}
+	}
+	return false
+}

@@ -35,6 +35,9 @@ var allAnalyzers = []*Analyzer{
 	ctxloopAnalyzer,
 	hotallocAnalyzer,
 	guardedAnalyzer,
+	lockorderAnalyzer,
+	goleakAnalyzer,
+	errcontractAnalyzer,
 }
 
 func analyzerByName(name string) *Analyzer {
@@ -92,6 +95,10 @@ type finding struct {
 	analyzer string
 	pos      token.Position
 	msg      string
+	// suppressed findings are kept (for -json consumers) but neither
+	// printed to stderr nor counted toward the exit status.
+	suppressed bool
+	reason     string // the ignore directive's reason, when suppressed
 }
 
 // ignoreKey addresses one source line for ignore-directive matching.
@@ -108,21 +115,23 @@ type unit struct {
 	info  *types.Info
 	// directives are package-scope markers (deterministic, hotpath, …).
 	directives map[string]bool
-	// ignores maps a source line to the analyzer names suppressed on that
-	// line and the one below it.
-	ignores map[ignoreKey]map[string]bool
+	// ignores maps a source line to the analyzers suppressed on that line
+	// and the one below it, with the mandatory reason.
+	ignores map[ignoreKey]map[string]string
 	// framework holds diagnostics about the directives themselves
 	// (missing reason, unknown analyzer, legacy form). Not suppressible.
 	framework []finding
 }
 
-func (u *unit) suppressed(f finding) bool {
+func (u *unit) suppressed(f finding) (bool, string) {
 	for _, line := range []int{f.pos.Line, f.pos.Line - 1} {
-		if set, ok := u.ignores[ignoreKey{f.pos.Filename, line}]; ok && set[f.analyzer] {
-			return true
+		if set, ok := u.ignores[ignoreKey{f.pos.Filename, line}]; ok {
+			if reason, ok := set[f.analyzer]; ok {
+				return true, reason
+			}
 		}
 	}
-	return false
+	return false, ""
 }
 
 // scanDirectives walks every comment of the unit, recording package-scope
@@ -158,7 +167,7 @@ func (u *unit) scanComment(c *ast.Comment) {
 	}
 	verb, args := fields[0], fields[1:]
 	switch verb {
-	case "deterministic", "hotpath":
+	case "deterministic", "hotpath", "errcontract":
 		// Package-scope markers take no arguments; trailing prose would
 		// silently change meaning if a future version started parsing it.
 		if len(args) != 0 {
@@ -188,11 +197,11 @@ func (u *unit) scanComment(c *ast.Comment) {
 		}
 		key := ignoreKey{u.fset.Position(c.Pos()).Filename, u.fset.Position(c.Pos()).Line}
 		if u.ignores[key] == nil {
-			u.ignores[key] = map[string]bool{}
+			u.ignores[key] = map[string]string{}
 		}
-		u.ignores[key][name] = true
+		u.ignores[key][name] = strings.Join(args[1:], " ")
 	default:
-		u.frameworkf(c.Pos(), "unknown //mcmlint:%s directive (have deterministic, hotpath, deepcopy, ignore)", verb)
+		u.frameworkf(c.Pos(), "unknown //mcmlint:%s directive (have deterministic, hotpath, errcontract, deepcopy, ignore)", verb)
 	}
 }
 
@@ -279,14 +288,16 @@ func loadUnit(pkgPath, dir string, paths []string, exp *exportLookup) (*unit, er
 		pkg:        pkg,
 		info:       info,
 		directives: map[string]bool{},
-		ignores:    map[ignoreKey]map[string]bool{},
+		ignores:    map[ignoreKey]map[string]string{},
 	}
 	u.scanDirectives()
 	return u, nil
 }
 
-// lintUnit runs the enabled analyzers over one loaded unit and returns the
-// surviving findings, sorted by position.
+// lintUnit runs the enabled analyzers over one loaded unit and returns
+// the findings, sorted by position. Suppressed findings are included but
+// flagged (JSON consumers see them with their reason); text output and
+// the exit status only consider unsuppressed ones.
 func lintUnit(u *unit, enabled []*Analyzer) []finding {
 	if u == nil {
 		return nil
@@ -304,9 +315,8 @@ func lintUnit(u *unit, enabled []*Analyzer) []finding {
 			out:      &raw,
 		})
 		for _, f := range raw {
-			if !u.suppressed(f) {
-				out = append(out, f)
-			}
+			f.suppressed, f.reason = u.suppressed(f)
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

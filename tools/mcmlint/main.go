@@ -10,7 +10,7 @@ import (
 
 // lintVersion keys cmd/go's vet result cache (via -V=full): bump it
 // whenever any analyzer's rules change, or stale results will be served.
-const lintVersion = "v2.0.0"
+const lintVersion = "v3.0.0"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -18,7 +18,7 @@ func main() {
 
 func run(args []string) int {
 	var enable, disable string
-	var wantVersion, wantFlags bool
+	var wantVersion, wantFlags, jsonOut bool
 	var rest []string
 	for _, a := range args {
 		switch {
@@ -26,6 +26,8 @@ func run(args []string) int {
 			wantVersion = true
 		case a == "-flags":
 			wantFlags = true
+		case a == "-json":
+			jsonOut = true
 		case strings.HasPrefix(a, "-enable="):
 			enable = strings.TrimPrefix(a, "-enable=")
 		case strings.HasPrefix(a, "-disable="):
@@ -41,6 +43,9 @@ func run(args []string) int {
 	}
 	if disable == "" {
 		disable = os.Getenv("MCMLINT_DISABLE")
+	}
+	if os.Getenv("MCMLINT_JSON") != "" {
+		jsonOut = true
 	}
 	enabled, err := selectAnalyzers(enable, disable)
 	if err != nil {
@@ -59,12 +64,12 @@ func run(args []string) int {
 		fmt.Println("[]")
 		return 0
 	case len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg"):
-		return runVetUnit(rest[0], enabled)
+		return runVetUnit(rest[0], enabled, jsonOut)
 	case len(rest) == 0:
-		fmt.Fprintln(os.Stderr, "usage: mcmlint [-enable a,b] [-disable c] <package-dir>... | mcmlint <unit>.cfg (go vet -vettool)")
+		fmt.Fprintln(os.Stderr, "usage: mcmlint [-json] [-enable a,b] [-disable c] <package-dir>... | mcmlint <unit>.cfg (go vet -vettool)")
 		return 1
 	default:
-		return runDirs(rest, enabled)
+		return runDirs(rest, enabled, jsonOut)
 	}
 }
 
@@ -139,7 +144,7 @@ type vetConfig struct {
 // are parsed, type-checked, and linted. The facts file must exist
 // afterwards or cmd/go reports the tool as failed, so an empty one is
 // always written.
-func runVetUnit(cfgPath string, enabled []*Analyzer) int {
+func runVetUnit(cfgPath string, enabled []*Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcmlint: %v\n", err)
@@ -170,11 +175,11 @@ func runVetUnit(cfgPath string, enabled []*Analyzer) int {
 		return 1
 	}
 	writeVetx()
-	return report(lintUnit(u, enabled))
+	return report(lintUnit(u, enabled), jsonOut)
 }
 
 // runDirs lints package directories given directly on the command line.
-func runDirs(dirs []string, enabled []*Analyzer) int {
+func runDirs(dirs []string, enabled []*Analyzer, jsonOut bool) int {
 	var all []finding
 	for _, dir := range dirs {
 		ents, err := os.ReadDir(dir)
@@ -198,15 +203,59 @@ func runDirs(dirs []string, enabled []*Analyzer) int {
 		}
 		all = append(all, lintUnit(u, enabled)...)
 	}
-	return report(all)
+	return report(all, jsonOut)
 }
 
-func report(findings []finding) int {
-	if len(findings) == 0 {
-		return 0
+// jsonFinding is the -json wire shape of one diagnostic; see doc.go for
+// the schema contract.
+type jsonFinding struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Suppressed  bool   `json:"suppressed,omitempty"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+// report prints the findings — human-readable on stderr, or a JSON array
+// on stdout with -json / MCMLINT_JSON (suppressed findings included there
+// with their reasons). The exit status counts only unsuppressed findings.
+func report(findings []finding, jsonOut bool) int {
+	active := 0
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:        f.pos.Filename,
+				Line:        f.pos.Line,
+				Col:         f.pos.Column,
+				Analyzer:    f.analyzer,
+				Message:     f.msg,
+				Suppressed:  f.suppressed,
+				Suppression: f.reason,
+			})
+			if !f.suppressed {
+				active++
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mcmlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			if f.suppressed {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
+			active++
+		}
 	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
+	if active == 0 {
+		return 0
 	}
 	return 2
 }

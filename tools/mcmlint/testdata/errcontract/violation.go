@@ -1,0 +1,51 @@
+// Seeded errcontract violations: a naked errors.New in a function body,
+// a %v wrap, and a format whose only percent signs are escapes — next to
+// the conforming shapes (package-level sentinels, %w wraps including
+// multi-%w, typed errors, and a reasoned ignore).
+//
+//mcmlint:errcontract
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrNotFound = errors.New("fixture: not found")
+	ErrBusy     = errors.New("fixture: busy")
+)
+
+func wrapped(id string) error {
+	return fmt.Errorf("%w: job %s", ErrNotFound, id)
+}
+
+func naked() error {
+	return errors.New("boom") // want "errors.New outside a package-level sentinel declaration"
+}
+
+func vWrapped(err error) error {
+	return fmt.Errorf("job failed: %v", err) // want "fmt.Errorf without %w"
+}
+
+func escaped(pct int) error {
+	return fmt.Errorf("load at 100%%, budget %d", pct) // want "fmt.Errorf without %w"
+}
+
+type opError struct{ op string }
+
+func (e *opError) Error() string { return e.op }
+
+// typed errors route through errors.As by construction: conforming.
+func typed(op string) error {
+	return &opError{op: op}
+}
+
+func multiWrap(a, b error) error {
+	return fmt.Errorf("two causes: %w and %w", a, b)
+}
+
+func suppressed() error {
+	//mcmlint:ignore errcontract transient probe error, never routed
+	return errors.New("probe")
+}

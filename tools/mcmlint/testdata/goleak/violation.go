@@ -1,0 +1,84 @@
+// Seeded goleak violations: goroutines with no shutdown signal, next to
+// every accepted tie — context, done channel, range-over-channel,
+// WaitGroup join, a same-unit declaration that observes a signal, a
+// cross-boundary spawn handed a shutdown-capable argument, and the
+// reasoned-ignore escape.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func spin() {
+	for {
+	}
+}
+
+type worker struct {
+	done     chan struct{}
+	handler  func(chan struct{})
+	handler2 func()
+}
+
+func (w *worker) drain() {
+	<-w.done
+}
+
+func leaky() {
+	go func() { // want "goroutine is not tied to a shutdown signal"
+		for {
+		}
+	}()
+}
+
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func errTied(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+func chanTied(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func wgTied(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// declTied spawns a same-unit declaration whose body blocks on the done
+// channel — tied through the one-level body check.
+func declTied(w *worker) {
+	go w.drain()
+}
+
+func declLeaky() {
+	go spin() // want "goroutine is not tied to a shutdown signal"
+}
+
+// dynamicTied calls through a func field (unresolvable body) but hands it
+// the done channel: assumed to honor it.
+func dynamicTied(w *worker) {
+	go w.handler(w.done)
+}
+
+func dynamicLeaky(w *worker) {
+	go w.handler2() // want "goroutine is not tied to a shutdown signal"
+}
+
+func suppressed() {
+	//mcmlint:ignore goleak exits when the test binary does
+	go spin()
+}

@@ -1,0 +1,147 @@
+// flow.go seeds the flow-sensitive cases: violations the function-scope
+// syntactic check (mcmlint v2) provably passes — an early unlock followed
+// by a read, a lock taken on only one branch — plus the conforming shapes
+// (defer unlock, both-branch locks, one-level helper summaries) and the
+// cross-type `guarded by Type.mu` form.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// unlockThenRead releases before the second read. A "does this function
+// lock mu anywhere" check passes it; the dataflow does not.
+func (g *gauge) unlockThenRead() int {
+	g.mu.Lock()
+	v := g.val
+	g.mu.Unlock()
+	return v + g.val // want "gauge.val is guarded by mu"
+}
+
+// conditionalUnlock leaves one path unlocked at the read.
+func (g *gauge) conditionalUnlock(flush bool) int {
+	g.mu.Lock()
+	if flush {
+		g.mu.Unlock()
+	}
+	v := g.val // want "gauge.val is guarded by mu"
+	if !flush {
+		g.mu.Unlock()
+	}
+	return v
+}
+
+// deferUnlock holds the lock to function exit: conforming.
+func (g *gauge) deferUnlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// lockBoth acquires on both branches; the join still holds: conforming.
+func (g *gauge) lockBoth(fast bool) int {
+	if fast {
+		g.mu.Lock()
+	} else {
+		g.mu.Lock()
+	}
+	v := g.val
+	g.mu.Unlock()
+	return v
+}
+
+// lockOneBranch acquires on only one path to the read.
+func (g *gauge) lockOneBranch(fast bool) int {
+	if fast {
+		g.mu.Lock()
+	}
+	v := g.val // want "gauge.val is guarded by mu"
+	if fast {
+		g.mu.Unlock()
+	}
+	return v
+}
+
+// lockHelper locks on every return path — its one-level summary carries
+// the acquisition to call sites.
+func (g *gauge) lockHelper() { g.mu.Lock() }
+
+// viaHelper holds the lock through the helper's summary: conforming.
+func (g *gauge) viaHelper() int {
+	g.lockHelper()
+	v := g.val
+	g.mu.Unlock()
+	return v
+}
+
+// balancedHelper locks and defer-unlocks: its summary is a no-op for
+// callers, because the deferred release runs before return.
+func (g *gauge) balancedHelper() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// afterBalanced holds nothing once the helper returns.
+func afterBalanced(g *gauge) int {
+	g.balancedHelper()
+	return g.val // want "gauge.val is guarded by mu"
+}
+
+// readLocked asserts the caller holds mu: its body is exempt.
+func (g *gauge) readLocked() int { return g.val }
+
+// callsLockedHeld satisfies the call-site half of the convention.
+func (g *gauge) callsLockedHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.readLocked()
+}
+
+// callsLockedUnheld calls a *Locked method with nothing held.
+func (g *gauge) callsLockedUnheld() int {
+	return g.readLocked() // want "readLocked asserts the caller holds gauge.mu"
+}
+
+// spawned closures cannot inherit the spawning path's lock state.
+func (g *gauge) racyClosure() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.val++ // want "gauge.val is guarded by mu"
+	}()
+}
+
+// owner/entry mirror the Service in-flight table: entries guarded by the
+// owning table's mutex, via the cross-type `guarded by Type.mu` form.
+type owner struct {
+	mu      sync.Mutex
+	entries []*entry // guarded by mu
+}
+
+type entry struct {
+	waiters int // guarded by owner.mu
+}
+
+// addWaiter holds the owning mutex: conforming.
+func (o *owner) addWaiter(e *entry) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e.waiters++
+}
+
+// addWaiterRacy touches an entry without the owning lock.
+func addWaiterRacy(e *entry) {
+	e.waiters++ // want "entry.waiters is guarded by owner.mu"
+}
+
+type dangling struct {
+	x int // guarded by ghost.mu // want "type ghost is not declared"
+}
+
+type noField struct {
+	y int // guarded by owner.missing // want "owner has no field missing"
+}

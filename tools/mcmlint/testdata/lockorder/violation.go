@@ -1,0 +1,147 @@
+// Seeded lock-order violations: a direct AB/BA inversion, an inversion
+// hidden behind a one-level call summary, one that only appears once a
+// *Locked method's entry assumption is seeded, and an exact-expression
+// double Lock (guaranteed self-deadlock). The ordered cluster and the
+// shared RLock re-acquire pin the negative space: consistent order and
+// reader re-entry must stay silent.
+package fixture
+
+import "sync"
+
+// --- direct inversion -------------------------------------------------------
+
+type alpha struct{ mu sync.Mutex }
+
+type beta struct{ mu sync.Mutex }
+
+type pair struct {
+	a alpha
+	b beta
+}
+
+func (x *pair) abPath() {
+	x.a.mu.Lock()
+	x.b.mu.Lock() // want "lock-order cycle"
+	x.b.mu.Unlock()
+	x.a.mu.Unlock()
+}
+
+func (x *pair) baPath() {
+	x.b.mu.Lock()
+	x.a.mu.Lock()
+	x.a.mu.Unlock()
+	x.b.mu.Unlock()
+}
+
+// --- inversion through a call summary ---------------------------------------
+
+type gammaA struct{ mu sync.Mutex }
+
+type gammaB struct{ mu sync.Mutex }
+
+// lockB acquires on every path, so its one-level summary carries the
+// acquisition to call sites.
+func lockB(b *gammaB) { b.mu.Lock() }
+
+func viaSummary(a *gammaA, b *gammaB) {
+	a.mu.Lock()
+	lockB(b) // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func viaDirect(a *gammaA, b *gammaB) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// --- inversion visible only under the *Locked entry assumption --------------
+
+type svc struct {
+	mu   sync.Mutex
+	jobs []*item // guarded by mu
+}
+
+type item struct {
+	mu    sync.Mutex
+	state int // guarded by mu
+}
+
+// detachLocked asserts the caller holds it.mu; locking the table's mutex
+// on top records item.mu -> svc.mu.
+func (it *item) detachLocked(s *svc) {
+	s.mu.Lock() // want "lock-order cycle"
+	s.mu.Unlock()
+}
+
+func (s *svc) inverse(it *item) {
+	s.mu.Lock()
+	it.mu.Lock()
+	it.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// --- exact-expression re-acquire --------------------------------------------
+
+func relock() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Lock() // want "guaranteed self-deadlock"
+	mu.Unlock()
+}
+
+// A shared re-acquire is legal for readers: no report.
+type rw struct{ mu sync.RWMutex }
+
+func (r *rw) doubleRead() {
+	r.mu.RLock()
+	r.mu.RLock()
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+}
+
+// --- balanced helpers must not fabricate edges ------------------------------
+
+type relA struct{ mu sync.Mutex }
+
+type relB struct{ mu sync.Mutex }
+
+func (a *relA) probe() { a.mu.Lock(); defer a.mu.Unlock() }
+
+func (b *relB) probe() { b.mu.Lock(); defer b.mu.Unlock() }
+
+// The deferred Unlock runs before probe returns, so nothing is held at
+// the following Lock: these two must not report a phantom inversion.
+func seqHelpers(a *relA, b *relB) {
+	a.probe()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func seqHelpersRev(a *relA, b *relB) {
+	b.probe()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// --- consistent order: an edge with no reverse is fine ----------------------
+
+type outerL struct{ mu sync.Mutex }
+
+type innerL struct{ mu sync.Mutex }
+
+func ordered1(o *outerL, i *innerL) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func ordered2(o *outerL, i *innerL) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+package mcmpart
+
+import "testing"
+
+// TestOptionsWireRoundTrip pins that optionsToWire and
+// PlanOptionsWire.Options are inverses over every serializable field.
+// SeedFromAnalytic used to be dropped on the client→wire leg, silently
+// disabling analytic seeding for every remote caller; the exhaustive
+// field check keeps the next PlanOptions addition from repeating that.
+func TestOptionsWireRoundTrip(t *testing.T) {
+	opts := PlanOptions{
+		Method:           MethodFineTune,
+		SampleBudget:     321,
+		Seed:             77,
+		UseSimulator:     true,
+		SeedFromAnalytic: true,
+	}
+	// Progress is the one documented non-serializable field (and it makes
+	// PlanOptions non-comparable); everything else must survive.
+	got := optionsToWire(opts).Options()
+	if got.Method != opts.Method || got.SampleBudget != opts.SampleBudget ||
+		got.Seed != opts.Seed || got.UseSimulator != opts.UseSimulator ||
+		got.SeedFromAnalytic != opts.SeedFromAnalytic {
+		t.Fatalf("options did not round-trip: got %+v, want %+v", got, opts)
+	}
+}
