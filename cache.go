@@ -45,13 +45,17 @@ func cloneResult(r *Result) *Result {
 // a hit is bit-identical to the plan that populated the entry, and no
 // caller can corrupt it.
 //
+// The cache does not count its own hits and misses: a lookup happens
+// before the Service decides whether the request is admitted, and the
+// hit/miss counters must account admitted jobs only (see serviceMetrics).
+// The Service increments its tier counters at the admission points.
+//
 //mcmlint:deepcopy cloneResult
 type planCache struct {
-	mu           sync.Mutex
-	cap          int                      // immutable after newPlanCache
-	ll           *list.List               // guarded by mu; front = most recently used
-	items        map[string]*list.Element // guarded by mu
-	hits, misses uint64                   // guarded by mu
+	mu    sync.Mutex
+	cap   int                      // immutable after newPlanCache
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 }
 
 type planCacheEntry struct {
@@ -74,15 +78,12 @@ func (c *planCache) get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
-		c.misses++
 		return nil, false
 	}
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
 		return nil, false
 	}
-	c.hits++
 	c.ll.MoveToFront(el)
 	return cloneResult(el.Value.(*planCacheEntry).res), true
 }
@@ -109,12 +110,12 @@ func (c *planCache) put(key string, res *Result) {
 	}
 }
 
-// snapshot returns (hits, misses, current size, capacity).
-func (c *planCache) snapshot() (hits, misses uint64, size, capacity int) {
+// snapshot returns (current size, capacity).
+func (c *planCache) snapshot() (size, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap > 0 {
 		size = c.ll.Len()
 	}
-	return c.hits, c.misses, size, c.cap
+	return size, c.cap
 }

@@ -46,6 +46,12 @@ type ClientOptions struct {
 	// poll, so a long wait survives any number of isolated blips but not
 	// a dead daemon.
 	PollErrorBudget int
+	// OnRetry, when set, observes every retry the client is about to wait
+	// out: the zero-based attempt number, the jittered delay it will
+	// sleep, and the error that caused the retry. Chaos tests use it to
+	// count retries deterministically; it runs on the requesting
+	// goroutine and must not block.
+	OnRetry func(attempt int, delay time.Duration, cause error)
 }
 
 // normalized resolves defaults.
@@ -77,6 +83,9 @@ type Client struct {
 	base string
 	hc   *http.Client
 	opts ClientOptions
+	// now is the clock Retry-After HTTP-dates are resolved against;
+	// injectable so tests can pin it.
+	now func() time.Time
 	// retrySeq numbers retry sleeps across the client's lifetime, so the
 	// jitter stream never repeats within one client but is reproducible
 	// across runs with the same seed and call sequence.
@@ -95,7 +104,7 @@ func NewClientWithOptions(baseURL string, httpClient *http.Client, opts ClientOp
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient, opts: opts.normalized()}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient, opts: opts.normalized(), now: time.Now}
 }
 
 // BaseURL returns the daemon base URL the client talks to.
@@ -178,14 +187,26 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
+// backoffFor computes the pre-jitter exponential backoff for one retry:
+// BaseBackoff doubled attempt times, saturating at MaxBackoff. The
+// saturation test is shift-free on the growing side — BaseBackoff <<
+// attempt wraps int64 at high attempt counts, and the wrap can land on a
+// small *positive* value that slips a post-shift "d <= 0 || d > max"
+// clamp — so instead compare against MaxBackoff >> attempt, which only
+// shrinks and can never overflow.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	base, max := c.opts.BaseBackoff, c.opts.MaxBackoff
+	if attempt >= 63 || base > max>>attempt {
+		return max
+	}
+	return base << attempt
+}
+
 // sleepBackoff waits out one retry: exponential backoff with deterministic
 // seeded jitter, overridden by a longer server Retry-After, cut short by
 // ctx.
 func (c *Client) sleepBackoff(ctx context.Context, attempt int, cause error) error {
-	d := c.opts.BaseBackoff << attempt
-	if d <= 0 || d > c.opts.MaxBackoff {
-		d = c.opts.MaxBackoff
-	}
+	d := c.backoffFor(attempt)
 	// Jitter into [d/2, d): enough spread to break retry synchronization
 	// across clients, fully reproducible for a given seed and sequence.
 	z := uint64(parallel.Seed(c.opts.Seed, int(c.retrySeq.Add(1))))
@@ -194,6 +215,9 @@ func (c *Client) sleepBackoff(ctx context.Context, attempt int, cause error) err
 	var apiErr *APIError
 	if errors.As(cause, &apiErr) && apiErr.RetryAfter > d {
 		d = apiErr.RetryAfter
+	}
+	if c.opts.OnRetry != nil {
+		c.opts.OnRetry(attempt, d, cause)
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -228,7 +252,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		apiErr := &APIError{StatusCode: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		apiErr := &APIError{StatusCode: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now)}
 		var er ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			apiErr.Message = er.Error
@@ -248,17 +272,27 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	return nil
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After (the form
-// the daemon sends); HTTP-date and garbage parse as 0.
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads both RFC 9110 forms of Retry-After: delay-seconds
+// (what the daemon sends) and HTTP-date (what a proxy in front of it may
+// rewrite the header to), the latter resolved against now. Garbage — and
+// dates already in the past — parse as 0.
+func parseRetryAfter(v string, now func() time.Time) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now()); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Plan runs a synchronous, cache-aware plan on the daemon.

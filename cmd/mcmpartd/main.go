@@ -7,7 +7,7 @@
 //
 //	mcmpartd [-addr :7433] [-mcm dev8] [-policy-dir DIR] [-policy FILE]
 //	         [-pool-workers N] [-queue N] [-cache N] [-cache-dir DIR]
-//	         [-drain-timeout D] [-workers N]
+//	         [-drain-timeout D] [-workers N] [-log-json]
 //
 // -mcm selects the package the daemon plans for: a preset name (dev4,
 // dev8, dev8bi, edge36, het4, mesh16) or a path to a package JSON
@@ -40,6 +40,12 @@
 //	curl -s localhost:7433/healthz
 //	curl -s -X POST localhost:7433/v1/plan -d @request.json
 //	curl -s localhost:7433/v1/stats
+//	curl -s localhost:7433/metrics
+//
+// Every request is logged through log/slog (text by default, JSON with
+// -log-json) with its request ID — the caller's X-Request-ID header or a
+// generated one — and measured into the Prometheus registry served at
+// GET /metrics (metric contract: DESIGN.md §14).
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -80,10 +87,18 @@ func run(ctx context.Context, args []string, ready chan<- string) int {
 	cacheDir := fs.String("cache-dir", "", "persistent plan cache directory (created if missing); plans survive restarts")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a shutdown signal lets in-flight plans finish before cancelling them (best-so-far results are kept)")
 	workers := fs.Int("workers", runtime.NumCPU(), "compute workers per plan (kernels, rollouts)")
+	logJSON := fs.Bool("log-json", false, "emit request logs as JSON (default: logfmt-style text)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	parallel.SetDefault(*workers)
+
+	var handlerOpts slog.HandlerOptions
+	var logHandler slog.Handler = slog.NewTextHandler(os.Stderr, &handlerOpts)
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, &handlerOpts)
+	}
+	logger := slog.New(logHandler)
 
 	pkg, err := loadPackage(*mcmSpec)
 	if err != nil {
@@ -114,7 +129,7 @@ func run(ctx context.Context, args []string, ready chan<- string) int {
 		log.Print(err)
 		return 1
 	}
-	server := &http.Server{Handler: logRequests(mcmpart.NewHTTPHandler(svc))}
+	server := &http.Server{Handler: mcmpart.NewHTTPHandlerWithOptions(svc, mcmpart.HTTPOptions{Logger: logger})}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -159,13 +174,4 @@ func loadPackage(spec string) (*mcmpart.Package, error) {
 		return nil, fmt.Errorf("-mcm %q is not a package JSON file (%w); %v", spec, err, presetErr)
 	}
 	return mcmpart.ParsePackageJSON(data)
-}
-
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mcmpart"
+)
+
+// scrape fetches the daemon's /metrics exposition and parses it into
+// series → value (series keys keep their label sets, e.g.
+// `mcmpart_jobs_total{state="done"}`).
+func scrape(t *testing.T, baseURL string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics Content-Type = %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDaemonMetricsMatchStats is the telemetry acceptance test: boot the
+// daemon with one worker and a one-slot queue, run the scripted workload —
+// a cold plan, a warm repeat, a coalesced burst behind a slow plan, one
+// shed request — and assert the /metrics exposition agrees with /v1/stats
+// counter for counter, with every value equal to what the script implies.
+func TestDaemonMetricsMatchStats(t *testing.T) {
+	d := bootDaemonHandle(t, []string{"-addr", "127.0.0.1:0", "-mcm", "dev8", "-pool-workers", "1", "-queue", "1"})
+	cl := d.Client
+	ctx := context.Background()
+	g := mcmpart.CorpusGraphs(1)[84]
+
+	// Cold plan, then the warm repeat.
+	fast := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 15, Seed: 3}
+	cold, err := cl.Plan(ctx, g, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first plan cannot be a cache hit")
+	}
+	warm, err := cl.Plan(ctx, g, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second identical plan must be a cache hit")
+	}
+
+	// A slow plan to pin the single worker, then a coalesced burst of
+	// identical requests riding its flight.
+	slow := mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 100000, Seed: 9}
+	leader, err := cl.SubmitJob(ctx, g, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader.Cached || leader.Coalesced {
+		t.Fatalf("leader job unexpectedly cached/coalesced: %+v", leader)
+	}
+	followers := make([]mcmpart.JobStatus, 3)
+	for i := range followers {
+		followers[i], err = cl.SubmitJob(ctx, g, slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !followers[i].Coalesced {
+			t.Fatalf("follower %d not coalesced: %+v", i, followers[i])
+		}
+	}
+
+	// A distinct request takes the single queue slot; the next distinct
+	// request must shed with 429/ErrBusy.
+	queued, err := cl.SubmitJob(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 15, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitJob(ctx, g, mcmpart.PlanOptions{Method: mcmpart.MethodRandom, SampleBudget: 15, Seed: 11}); !errors.Is(err, mcmpart.ErrBusy) {
+		t.Fatalf("submission beyond queue capacity returned %v, want ErrBusy", err)
+	}
+
+	// Quiesce: every admitted job runs to done.
+	for _, id := range []string{leader.ID, followers[0].ID, followers[1].ID, followers[2].ID, queued.ID} {
+		jr, err := cl.WaitJob(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("waiting for %s: %v", id, err)
+		}
+		if jr.State != mcmpart.JobDone {
+			t.Fatalf("job %s finished %s: %+v", id, jr.State, jr)
+		}
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := scrape(t, cl.BaseURL())
+
+	// The scripted workload fully determines the counters: 2 sync plans +
+	// leader + 3 followers + 1 queued admitted (the shed one rejected, so
+	// it counts on no tier). Only the warm repeat hit the memory cache;
+	// the other 6 admissions missed it, and of those, cold, leader, and
+	// queued executed a plan.
+	want := []struct {
+		series string
+		value  float64
+	}{
+		{`mcmpart_jobs_submitted_total`, 7},
+		{`mcmpart_jobs_total{state="done"}`, 7},
+		{`mcmpart_jobs_total{state="failed"}`, 0},
+		{`mcmpart_jobs_total{state="cancelled"}`, 0},
+		{`mcmpart_jobs_shed_total`, 1},
+		{`mcmpart_cache_hits_total{tier="memory"}`, 1},
+		{`mcmpart_cache_misses_total{tier="memory"}`, 6},
+		{`mcmpart_cache_hits_total{tier="disk"}`, 0},
+		{`mcmpart_plans_executed_total`, 3},
+		{`mcmpart_plans_coalesced_total`, 3},
+		{`mcmpart_plan_seconds_count{path="cold"}`, 3},
+		{`mcmpart_plan_seconds_count{path="warm"}`, 1},
+		{`mcmpart_jobs_queued`, 0},
+		{`mcmpart_jobs_running`, 0},
+		{`mcmpart_queue_depth`, 0},
+		{`mcmpart_queue_capacity`, 1},
+		{`mcmpart_workers`, 1},
+		{`mcmpart_workers_busy`, 0},
+		{`mcmpart_draining`, 0},
+		{`mcmpart_http_requests_total{code="200",route="POST /v1/plan"}`, 2},
+		{`mcmpart_http_requests_total{code="429",route="POST /v1/jobs"}`, 1},
+	}
+	for _, w := range want {
+		got, ok := metrics[w.series]
+		if !ok {
+			t.Errorf("series %s missing from /metrics", w.series)
+			continue
+		}
+		if got != w.value {
+			t.Errorf("%s = %v, want %v", w.series, got, w.value)
+		}
+	}
+
+	// /v1/stats and /metrics are two views of one registry: counter for
+	// counter they must agree exactly.
+	same := []struct {
+		series string
+		stat   uint64
+	}{
+		{`mcmpart_jobs_submitted_total`, stats.JobsSubmitted},
+		{`mcmpart_jobs_total{state="done"}`, stats.JobsDone},
+		{`mcmpart_jobs_total{state="failed"}`, stats.JobsFailed},
+		{`mcmpart_jobs_total{state="cancelled"}`, stats.JobsCancelled},
+		{`mcmpart_jobs_shed_total`, stats.JobsShed},
+		{`mcmpart_cache_hits_total{tier="memory"}`, stats.CacheHits},
+		{`mcmpart_cache_misses_total{tier="memory"}`, stats.CacheMisses},
+		{`mcmpart_cache_hits_total{tier="disk"}`, stats.DiskCacheHits},
+		{`mcmpart_plans_executed_total`, stats.PlansExecuted},
+		{`mcmpart_plans_coalesced_total`, stats.PlansCoalesced},
+		{`mcmpart_queue_depth`, uint64(stats.QueueDepth)},
+		{`mcmpart_queue_capacity`, uint64(stats.QueueCapacity)},
+	}
+	for _, s := range same {
+		if got := metrics[s.series]; uint64(got) != s.stat {
+			t.Errorf("%s = %v on /metrics but %d on /v1/stats", s.series, got, s.stat)
+		}
+	}
+
+	// Histograms and cache gauges must be present with their full series
+	// families (the documented scrape surface, DESIGN.md §14).
+	for _, series := range []string{
+		`mcmpart_plan_seconds_sum{path="cold"}`,
+		`mcmpart_plan_seconds_bucket{path="cold",le="+Inf"}`,
+		`mcmpart_http_request_seconds_count{route="POST /v1/plan"}`,
+		`mcmpart_cache_entries`,
+		`mcmpart_cache_capacity`,
+	} {
+		if _, ok := metrics[series]; !ok {
+			t.Errorf("series %s missing from /metrics", series)
+		}
+	}
+}

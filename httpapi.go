@@ -4,7 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"mcmpart/internal/telemetry"
 )
 
 // The HTTP JSON API served by cmd/mcmpartd (and by anything embedding
@@ -16,7 +21,13 @@ import (
 //	DELETE /v1/jobs/{id}                           → JobStatus (cancels)
 //	GET  /v1/policies                              → PoliciesResponse
 //	GET  /v1/stats                                 → ServiceStats
+//	GET  /metrics                                  → Prometheus text exposition (DESIGN.md §14)
 //	GET  /healthz                                  → {"ok": true}
+//
+// Every request carries a request ID: the caller's X-Request-ID header
+// when present, a generated one otherwise. The ID is echoed on the
+// response header, stamped into the admitted job's status
+// (JobStatus.RequestID), and attached to the structured request log line.
 //
 // Errors are {"error": "..."} with a meaningful status code: 400 for
 // malformed requests, 404 for unknown jobs, 429 when admission sheds load
@@ -128,11 +139,70 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// HTTPOptions configure NewHTTPHandlerWithOptions.
+type HTTPOptions struct {
+	// Logger receives one structured line per request — method, route,
+	// status, duration, request ID. nil discards the log stream (metrics
+	// are recorded either way).
+	Logger *slog.Logger
+}
+
+// Help strings for the per-route HTTP metrics; the registry keys help on
+// the family, so every registration site must agree.
+const (
+	httpRequestsHelp = "HTTP requests served, by route pattern and status code."
+	httpLatencyHelp  = "HTTP request latency in seconds, by route pattern."
+)
+
+// httpRoutes enumerates the served patterns so their latency histograms
+// exist (at zero) from the first scrape instead of materializing on first
+// hit. Request counters carry a status-code label and appear on first use.
+var httpRoutes = []string{
+	"POST /v1/plan",
+	"POST /v1/jobs",
+	"GET /v1/jobs/{id}",
+	"DELETE /v1/jobs/{id}",
+	"GET /v1/policies",
+	"GET /v1/stats",
+	"GET /metrics",
+	"GET /healthz",
+}
+
 // NewHTTPHandler exposes a Service over the HTTP JSON API (see the package
 // comment above for the routes). cmd/mcmpartd serves exactly this handler;
 // embedding applications can mount it on their own mux.
 func NewHTTPHandler(svc *Service) http.Handler {
+	return NewHTTPHandlerWithOptions(svc, HTTPOptions{})
+}
+
+// statusWriter captures the response code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// NewHTTPHandlerWithOptions is NewHTTPHandler plus observability wiring:
+// every request is measured into the service's telemetry registry
+// (mcmpart_http_requests_total, mcmpart_http_request_seconds) and logged
+// through opts.Logger with its request ID.
+func NewHTTPHandlerWithOptions(svc *Service, httpOpts HTTPOptions) http.Handler {
+	logger := httpOpts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	reg := svc.Metrics()
+	for _, route := range httpRoutes {
+		reg.Histogram("mcmpart_http_request_seconds", httpLatencyHelp, telemetry.DefBuckets,
+			telemetry.Label{Name: "route", Value: route})
+	}
+	var ridSeq atomic.Uint64
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", telemetry.Handler(reg))
 	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decodePlanRequest(w, r)
 		if !ok {
@@ -232,7 +302,38 @@ func NewHTTPHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
-	return mux
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := svc.now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = "req-" + strconv.FormatUint(ridSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(WithRequestID(r.Context(), rid))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		// ServeMux stamps the matched pattern onto the request it was
+		// handed, so the route label is exact — no path cardinality.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := svc.now().Sub(start)
+		reg.Counter("mcmpart_http_requests_total", httpRequestsHelp,
+			telemetry.Label{Name: "route", Value: route},
+			telemetry.Label{Name: "code", Value: strconv.Itoa(sw.code)}).Inc()
+		reg.Histogram("mcmpart_http_request_seconds", httpLatencyHelp, telemetry.DefBuckets,
+			telemetry.Label{Name: "route", Value: route}).Observe(elapsed.Seconds())
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", elapsed),
+		)
+	})
 }
 
 // decodePlanRequest parses and structurally validates the shared body of

@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool errors.
@@ -31,6 +32,9 @@ type Pool struct {
 	mu      sync.Mutex
 	closed  bool // guarded by mu
 	workers int
+	// busy counts workers currently executing a task — the live occupancy
+	// a telemetry gauge reads (QueueLen is its queue-side counterpart).
+	busy atomic.Int64
 }
 
 // NewPool starts a pool of the given size. workers <= 0 uses the process
@@ -49,7 +53,9 @@ func NewPool(workers, queue int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.tasks {
+				p.busy.Add(1)
 				fn()
+				p.busy.Add(-1)
 			}
 		}()
 	}
@@ -61,6 +67,14 @@ func (p *Pool) Workers() int { return p.workers }
 
 // QueueCap returns the capacity of the task queue.
 func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// QueueLen returns the number of tasks waiting in the queue right now —
+// the live depth a dashboard watches for pressure, as opposed to
+// QueueCap, the configured bound.
+func (p *Pool) QueueLen() int { return len(p.tasks) }
+
+// Busy returns how many workers are executing a task right now.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
 // TrySubmit enqueues fn without blocking. It returns ErrPoolFull when the
 // queue is at capacity and ErrPoolClosed after Close.

@@ -32,8 +32,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"mcmpart/internal/faultinject"
+	"mcmpart/internal/telemetry"
 )
 
 // Format constants. Bumping Version invalidates (quarantines) every
@@ -69,15 +71,31 @@ type Stats struct {
 	Quarantined uint64 `json:"quarantined"`
 }
 
+// Metrics are the instruments a Store records into. Open wires standalone
+// instruments so a Store always counts; SetMetrics swaps in
+// registry-backed ones so the same numbers appear on /metrics. Stats()
+// reads whichever set is installed — there is exactly one source of
+// truth.
+type Metrics struct {
+	Hits         *telemetry.Counter
+	Misses       *telemetry.Counter
+	Writes       *telemetry.Counter
+	WriteErrors  *telemetry.Counter
+	Quarantined  *telemetry.Counter
+	ReadSeconds  *telemetry.Histogram // latency of Get, hit or miss
+	WriteSeconds *telemetry.Histogram // latency of Put, success or failure
+}
+
 // Store is a directory of plan entries. All methods are safe for
 // concurrent use.
 type Store struct {
 	dir  string
 	logf func(format string, args ...any)
+	m    Metrics          // immutable after SetMetrics (which must precede first use)
+	now  func() time.Time // injectable clock for latency histograms
 
-	mu    sync.Mutex
-	seq   uint64 // temp-file uniquifier; guarded by mu
-	stats Stats  // guarded by mu
+	mu  sync.Mutex
+	seq uint64 // temp-file uniquifier; guarded by mu
 }
 
 // Open creates (if needed) and opens a store rooted at dir. logf receives
@@ -89,7 +107,55 @@ func Open(dir string, logf func(format string, args ...any)) (*Store, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Store{dir: dir, logf: logf}, nil
+	return &Store{
+		dir:  dir,
+		logf: logf,
+		m: Metrics{
+			Hits:         new(telemetry.Counter),
+			Misses:       new(telemetry.Counter),
+			Writes:       new(telemetry.Counter),
+			WriteErrors:  new(telemetry.Counter),
+			Quarantined:  new(telemetry.Counter),
+			ReadSeconds:  telemetry.NewHistogram(telemetry.DefBuckets),
+			WriteSeconds: telemetry.NewHistogram(telemetry.DefBuckets),
+		},
+		now: time.Now,
+	}, nil
+}
+
+// SetMetrics replaces the store's instruments with registry-backed ones.
+// Nil fields keep the standalone instrument Open installed. Call before
+// the store's first Get/Put — the fields are read without a lock on the
+// hot path.
+func (s *Store) SetMetrics(m Metrics) {
+	if m.Hits != nil {
+		s.m.Hits = m.Hits
+	}
+	if m.Misses != nil {
+		s.m.Misses = m.Misses
+	}
+	if m.Writes != nil {
+		s.m.Writes = m.Writes
+	}
+	if m.WriteErrors != nil {
+		s.m.WriteErrors = m.WriteErrors
+	}
+	if m.Quarantined != nil {
+		s.m.Quarantined = m.Quarantined
+	}
+	if m.ReadSeconds != nil {
+		s.m.ReadSeconds = m.ReadSeconds
+	}
+	if m.WriteSeconds != nil {
+		s.m.WriteSeconds = m.WriteSeconds
+	}
+}
+
+// SetNow replaces the store's clock; for tests. Call before first use.
+func (s *Store) SetNow(now func() time.Time) {
+	if now != nil {
+		s.now = now
+	}
 }
 
 // Dir returns the store's root directory.
@@ -161,10 +227,12 @@ func Decode(data []byte) (key string, payload []byte, err error) {
 // including quarantined corruption and injected read faults. Get never
 // returns bytes that failed verification.
 func (s *Store) Get(key string) (payload []byte, ok bool) {
+	start := s.now()
+	defer func() { s.m.ReadSeconds.Observe(s.now().Sub(start).Seconds()) }()
 	path := s.path(key)
 	if err := faultinject.Check(faultinject.PointDiskRead); err != nil {
 		s.logf("plancache: read %s: %v", filepath.Base(path), err)
-		s.count(func(st *Stats) { st.Misses++ })
+		s.m.Misses.Inc()
 		return nil, false
 	}
 	data, err := os.ReadFile(path)
@@ -172,21 +240,21 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 		if !errors.Is(err, fs.ErrNotExist) {
 			s.logf("plancache: read %s: %v", filepath.Base(path), err)
 		}
-		s.count(func(st *Stats) { st.Misses++ })
+		s.m.Misses.Inc()
 		return nil, false
 	}
 	storedKey, payload, err := Decode(data)
 	if err != nil {
 		s.quarantine(path, err)
-		s.count(func(st *Stats) { st.Misses++ })
+		s.m.Misses.Inc()
 		return nil, false
 	}
 	if storedKey != key {
 		s.quarantine(path, fmt.Errorf("%w: entry holds key %q, looked up as %q", ErrCorrupt, storedKey, key))
-		s.count(func(st *Stats) { st.Misses++ })
+		s.m.Misses.Inc()
 		return nil, false
 	}
-	s.count(func(st *Stats) { st.Hits++ })
+	s.m.Hits.Inc()
 	return payload, true
 }
 
@@ -203,20 +271,22 @@ func (s *Store) quarantine(path string, reason error) {
 		// that fails the entry stays and will re-quarantine on next touch.
 		_ = os.Remove(path)
 	}
-	s.count(func(st *Stats) { st.Quarantined++ })
+	s.m.Quarantined.Inc()
 }
 
 // Put durably stores payload under key: temp file in the same directory,
 // fsync, atomic rename. A failure is logged and counted but leaves no
 // partial entry behind.
 func (s *Store) Put(key string, payload []byte) error {
+	start := s.now()
 	err := s.put(key, payload)
+	s.m.WriteSeconds.Observe(s.now().Sub(start).Seconds())
 	if err != nil {
 		s.logf("plancache: write %s: %v", filepath.Base(s.path(key)), err)
-		s.count(func(st *Stats) { st.WriteErrors++ })
+		s.m.WriteErrors.Inc()
 		return err
 	}
-	s.count(func(st *Stats) { st.Writes++ })
+	s.m.Writes.Inc()
 	return nil
 }
 
@@ -274,15 +344,14 @@ func (s *Store) Flush() error {
 	return d.Sync()
 }
 
-// Stats returns a snapshot of store activity.
+// Stats returns a snapshot of store activity, read from the same
+// instruments the /metrics exposition serves.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-func (s *Store) count(f func(*Stats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
+	return Stats{
+		Hits:        s.m.Hits.Value(),
+		Misses:      s.m.Misses.Value(),
+		Writes:      s.m.Writes.Value(),
+		WriteErrors: s.m.WriteErrors.Value(),
+		Quarantined: s.m.Quarantined.Value(),
+	}
 }

@@ -51,6 +51,29 @@ type JobStatus struct {
 	BestImprovement float64 `json:"best_improvement,omitempty"`
 	// Error is the failure message of a failed (or cancelled) job.
 	Error string `json:"error,omitempty"`
+	// RequestID echoes the caller-supplied request ID (WithRequestID, or
+	// the X-Request-ID header over HTTP) so job progress correlates with
+	// the request logs. Empty when the caller supplied none.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// requestIDKey carries a request ID through a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying a caller-chosen request ID.
+// Submit stamps it into the job it admits, so status payloads and
+// structured logs share one correlation handle.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 // Job is one asynchronous plan submitted to a Service. A Job is handed out
@@ -63,6 +86,8 @@ type JobStatus struct {
 //mcmlint:deepcopy cloneResult
 type Job struct {
 	id string
+	// requestID is the caller's correlation ID (immutable after Submit).
+	requestID string
 	// ctx is the job's execution context: derived from the service
 	// lifecycle, cancelled by Cancel.
 	ctx    context.Context
@@ -100,6 +125,7 @@ func (j *Job) Status() JobStatus {
 		Coalesced:       j.coalesced,
 		Samples:         j.samples,
 		BestImprovement: j.best,
+		RequestID:       j.requestID,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"mcmpart/internal/faultinject"
 	"mcmpart/internal/parallel"
 	"mcmpart/internal/plancache"
 	"mcmpart/internal/rl"
+	"mcmpart/internal/telemetry"
 )
 
 // Service errors.
@@ -87,13 +89,27 @@ type ServiceOptions struct {
 	MaxRetainedJobs int
 }
 
-// ServiceStats is a point-in-time operational snapshot of a Service.
+// ServiceStats is a point-in-time operational snapshot of a Service. Every
+// counter and gauge here is a read of the same telemetry registry the
+// GET /metrics exposition serves (Service.Metrics), so the JSON and
+// Prometheus views cannot disagree. DESIGN.md §14 documents the metric
+// names as a stable contract.
 type ServiceStats struct {
 	Package            string `json:"package"`
 	PackageFingerprint string `json:"package_fingerprint"`
 	Workers            int    `json:"workers"`
-	QueueDepth         int    `json:"queue_depth"`
+	// QueueDepth is the number of admitted jobs waiting for a worker right
+	// now — the live pressure signal. QueueCapacity is the configured
+	// bound admission sheds at (historically QueueDepth reported the
+	// capacity; the live depth is what a dashboard needs).
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
 
+	// CacheHits/CacheMisses partition *admitted* jobs by their in-memory
+	// cache outcome: every job counts on exactly one side, a rejected
+	// submission (shed, draining) on neither — so CacheHits+CacheMisses
+	// equals JobsSubmitted once the service is quiescent. Coalesced
+	// requests and disk-tier hits are memory misses.
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
 	CacheEntries  int    `json:"cache_entries"`
@@ -120,6 +136,9 @@ type ServiceStats struct {
 	JobsDone      uint64 `json:"jobs_done"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCancelled uint64 `json:"jobs_cancelled"`
+	// JobsShed counts submissions rejected with ErrBusy because the queue
+	// was full — load the service refused, which JobsSubmitted never saw.
+	JobsShed uint64 `json:"jobs_shed"`
 
 	// Draining reports that admission is stopped (BeginDrain/Drain/Close)
 	// while previously admitted work finishes.
@@ -209,23 +228,70 @@ type Service struct {
 	installedPath string // guarded by installedMu
 	installedFP   string // guarded by installedMu
 
-	mu             sync.Mutex
-	closed         bool               // guarded by mu
-	draining       bool               // guarded by mu
-	seq            int                // guarded by mu
-	jobs           map[string]*Job    // guarded by mu
-	jobOrder       []string           // guarded by mu; insertion order, for terminal-job eviction
-	maxRetained    int                // guarded by mu
-	inflight       map[string]*flight // guarded by mu
-	jobsSubmitted  uint64             // guarded by mu
-	jobsDone       uint64             // guarded by mu
-	jobsFailed     uint64             // guarded by mu
-	jobsCancelled  uint64             // guarded by mu
-	jobsQueued     int                // guarded by mu
-	jobsRunning    int                // guarded by mu
-	plansExecuted  uint64             // guarded by mu
-	plansCoalesced uint64             // guarded by mu
-	diskHits       uint64             // guarded by mu
+	// m holds every operational counter, gauge, and histogram, registered
+	// on one telemetry registry; Stats() and GET /metrics read the same
+	// instruments. now is the injectable clock behind the latency
+	// histograms (a function value, so deterministic-lint stays happy and
+	// tests can pin it).
+	m   *serviceMetrics
+	now func() time.Time
+
+	mu          sync.Mutex
+	closed      bool               // guarded by mu
+	draining    bool               // guarded by mu
+	seq         int                // guarded by mu
+	jobs        map[string]*Job    // guarded by mu
+	jobOrder    []string           // guarded by mu; insertion order, for terminal-job eviction
+	maxRetained int                // guarded by mu
+	inflight    map[string]*flight // guarded by mu
+}
+
+// serviceMetrics bundles the Service's instruments. Counters are never
+// decremented (Prometheus monotonicity); live quantities are gauges or
+// GaugeFuncs over the underlying structures. The admission contract that
+// makes Stats() coherent: every admitted job increments exactly one
+// memory-tier counter (hit or miss) *before* jobsSubmitted, a rejected
+// submission (shed, draining) increments neither, and Stats() reads
+// jobsSubmitted *before* the cache counters — so CacheHits+CacheMisses >=
+// JobsSubmitted holds in every snapshot and equality holds at quiescence.
+type serviceMetrics struct {
+	reg *telemetry.Registry
+
+	jobsSubmitted  *telemetry.Counter
+	jobsShed       *telemetry.Counter
+	jobsDone       *telemetry.Counter
+	jobsFailed     *telemetry.Counter
+	jobsCancelled  *telemetry.Counter
+	jobsQueued     *telemetry.Gauge
+	jobsRunning    *telemetry.Gauge
+	plansExecuted  *telemetry.Counter
+	plansCoalesced *telemetry.Counter
+	memHits        *telemetry.Counter
+	memMisses      *telemetry.Counter
+	diskHits       *telemetry.Counter
+	planCold       *telemetry.Histogram
+	planWarm       *telemetry.Histogram
+}
+
+func newServiceMetrics() *serviceMetrics {
+	reg := telemetry.NewRegistry()
+	return &serviceMetrics{
+		reg:            reg,
+		jobsSubmitted:  reg.Counter("mcmpart_jobs_submitted_total", "Jobs admitted by Submit: served from cache, coalesced, or queued."),
+		jobsShed:       reg.Counter("mcmpart_jobs_shed_total", "Submissions rejected with ErrBusy because the queue was full."),
+		jobsDone:       reg.Counter("mcmpart_jobs_total", "Jobs finished, by terminal state.", telemetry.Label{Name: "state", Value: "done"}),
+		jobsFailed:     reg.Counter("mcmpart_jobs_total", "Jobs finished, by terminal state.", telemetry.Label{Name: "state", Value: "failed"}),
+		jobsCancelled:  reg.Counter("mcmpart_jobs_total", "Jobs finished, by terminal state.", telemetry.Label{Name: "state", Value: "cancelled"}),
+		jobsQueued:     reg.Gauge("mcmpart_jobs_queued", "Admitted jobs waiting for a worker."),
+		jobsRunning:    reg.Gauge("mcmpart_jobs_running", "Jobs a worker is currently planning."),
+		plansExecuted:  reg.Counter("mcmpart_plans_executed_total", "Actual planner invocations (cache misses that ran)."),
+		plansCoalesced: reg.Counter("mcmpart_plans_coalesced_total", "Requests that shared another request's in-flight plan."),
+		memHits:        reg.Counter("mcmpart_cache_hits_total", "Plan-cache hits, by tier.", telemetry.Label{Name: "tier", Value: "memory"}),
+		memMisses:      reg.Counter("mcmpart_cache_misses_total", "Plan-cache misses, by tier.", telemetry.Label{Name: "tier", Value: "memory"}),
+		diskHits:       reg.Counter("mcmpart_cache_hits_total", "Plan-cache hits, by tier.", telemetry.Label{Name: "tier", Value: "disk"}),
+		planCold:       reg.Histogram("mcmpart_plan_seconds", "Plan service latency: cold runs the planner, warm serves from cache.", telemetry.DefBuckets, telemetry.Label{Name: "path", Value: "cold"}),
+		planWarm:       reg.Histogram("mcmpart_plan_seconds", "Plan service latency: cold runs the planner, warm serves from cache.", telemetry.DefBuckets, telemetry.Label{Name: "path", Value: "warm"}),
+	}
 }
 
 // flight is one in-flight plan computation for one cache key: a leader job
@@ -284,18 +350,44 @@ func NewService(pkg *Package, opts ServiceOptions) (*Service, error) {
 		maxRetained = 1024
 	}
 	root, shutdown := context.WithCancel(context.Background())
+	m := newServiceMetrics()
 	s := &Service{
 		planner:     planner,
 		pkgFP:       rl.PackageFingerprint(pkg),
 		cache:       newPlanCache(cacheEntries),
 		pool:        parallel.NewPool(opts.Workers, opts.QueueDepth),
 		coalesce:    !opts.DisableCoalescing,
+		m:           m,
+		now:         time.Now,
 		root:        root,
 		shutdown:    shutdown,
 		jobs:        make(map[string]*Job),
 		inflight:    make(map[string]*flight),
 		maxRetained: maxRetained,
 	}
+	// Live quantities are read straight from the owning structures at
+	// scrape time — there is no second copy to fall out of sync.
+	m.reg.GaugeFunc("mcmpart_queue_depth", "Tasks waiting in the worker-pool queue right now.",
+		func() float64 { return float64(s.pool.QueueLen()) })
+	m.reg.GaugeFunc("mcmpart_queue_capacity", "Configured worker-pool queue bound; admission sheds beyond it.",
+		func() float64 { return float64(s.pool.QueueCap()) })
+	m.reg.GaugeFunc("mcmpart_workers", "Configured worker count.",
+		func() float64 { return float64(s.pool.Workers()) })
+	m.reg.GaugeFunc("mcmpart_workers_busy", "Workers executing a task right now.",
+		func() float64 { return float64(s.pool.Busy()) })
+	m.reg.GaugeFunc("mcmpart_cache_entries", "Plans currently held by the in-memory cache.",
+		func() float64 { size, _ := s.cache.snapshot(); return float64(size) })
+	m.reg.GaugeFunc("mcmpart_cache_capacity", "In-memory plan-cache entry bound (0 = caching disabled).",
+		func() float64 { _, capacity := s.cache.snapshot(); return float64(capacity) })
+	m.reg.GaugeFunc("mcmpart_draining", "1 while admission is stopped (BeginDrain/Drain/Close), else 0.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.draining || s.closed {
+				return 1
+			}
+			return 0
+		})
 	if opts.CacheDir != "" {
 		disk, err := plancache.Open(opts.CacheDir, log.Printf)
 		if err != nil {
@@ -303,6 +395,18 @@ func NewService(pkg *Package, opts ServiceOptions) (*Service, error) {
 			shutdown()
 			return nil, err
 		}
+		// Register the store's write-side counters and latency histograms
+		// on the service registry. The disk *hit* counter stays service-
+		// owned (m.diskHits): a hit means "served", which additionally
+		// requires the payload to decode — the store's own read counters
+		// include envelope-valid entries quarantined at that later step.
+		disk.SetMetrics(plancache.Metrics{
+			Writes:       m.reg.Counter("mcmpart_disk_writes_total", "Plans durably written to the disk tier."),
+			WriteErrors:  m.reg.Counter("mcmpart_disk_write_errors_total", "Disk-tier writes that failed (logged; no partial entry remains)."),
+			Quarantined:  m.reg.Counter("mcmpart_disk_quarantined_total", "Disk-tier entries set aside after failing verification."),
+			ReadSeconds:  m.reg.Histogram("mcmpart_disk_read_seconds", "Disk-tier Get latency, hit or miss.", telemetry.DefBuckets),
+			WriteSeconds: m.reg.Histogram("mcmpart_disk_write_seconds", "Disk-tier Put latency, success or failure.", telemetry.DefBuckets),
+		})
 		s.disk = disk
 	}
 	if opts.PolicyDir != "" {
@@ -416,21 +520,37 @@ func (s *Service) Policies() []PolicyInfo {
 	return out
 }
 
-// Stats returns a point-in-time operational snapshot.
+// Stats returns a point-in-time operational snapshot, read from the same
+// telemetry instruments GET /metrics serves.
+//
+// Snapshot coherence: the job counters are read *before* the cache
+// counters, and every admission increments its cache-tier counter before
+// jobsSubmitted (see serviceMetrics), so CacheHits+CacheMisses >=
+// JobsSubmitted holds in every snapshot — even mid-burst — and the two
+// sides are equal once the service is quiescent.
 func (s *Service) Stats() ServiceStats {
-	hits, misses, size, capacity := s.cache.snapshot()
 	st := ServiceStats{
 		Package:            s.planner.Package().Name,
 		PackageFingerprint: s.pkgFP,
 		Workers:            s.pool.Workers(),
-		QueueDepth:         s.pool.QueueCap(),
-		CacheHits:          hits,
-		CacheMisses:        misses,
-		CacheEntries:       size,
-		CacheCapacity:      capacity,
+		QueueDepth:         s.pool.QueueLen(),
+		QueueCapacity:      s.pool.QueueCap(),
 		PolicyInstalled:    s.planner.HasPolicy(),
 		PolicyFingerprint:  s.planner.PolicyFingerprint(),
 	}
+	st.JobsSubmitted = s.m.jobsSubmitted.Value()
+	st.JobsDone = s.m.jobsDone.Value()
+	st.JobsFailed = s.m.jobsFailed.Value()
+	st.JobsCancelled = s.m.jobsCancelled.Value()
+	st.JobsShed = s.m.jobsShed.Value()
+	st.JobsQueued = int(s.m.jobsQueued.Value())
+	st.JobsRunning = int(s.m.jobsRunning.Value())
+	st.PlansExecuted = s.m.plansExecuted.Value()
+	st.PlansCoalesced = s.m.plansCoalesced.Value()
+	st.DiskCacheHits = s.m.diskHits.Value()
+	st.CacheHits = s.m.memHits.Value()
+	st.CacheMisses = s.m.memMisses.Value()
+	st.CacheEntries, st.CacheCapacity = s.cache.snapshot()
 	if s.registry != nil {
 		st.RegistryPolicies = len(s.registry.ForPackage(s.planner.Package()))
 	}
@@ -441,19 +561,15 @@ func (s *Service) Stats() ServiceStats {
 		st.DiskCacheQuarantined = ds.Quarantined
 	}
 	s.mu.Lock()
-	st.JobsSubmitted = s.jobsSubmitted
-	st.JobsDone = s.jobsDone
-	st.JobsFailed = s.jobsFailed
-	st.JobsCancelled = s.jobsCancelled
-	st.JobsQueued = s.jobsQueued
-	st.JobsRunning = s.jobsRunning
-	st.PlansExecuted = s.plansExecuted
-	st.PlansCoalesced = s.plansCoalesced
-	st.DiskCacheHits = s.diskHits
 	st.Draining = s.draining || s.closed
 	s.mu.Unlock()
 	return st
 }
+
+// Metrics returns the service's telemetry registry — the instruments
+// behind Stats(), ready to serve as a Prometheus text exposition via
+// telemetry.Handler (cmd/mcmpartd mounts it at GET /metrics).
+func (s *Service) Metrics() *telemetry.Registry { return s.m.reg }
 
 // Job returns a submitted job by ID. Terminal jobs stay addressable until
 // evicted by the retention bound.
@@ -504,6 +620,7 @@ func (s *Service) ensurePolicy(method Method) error {
 // leader promotes a waiting follower to re-plan, so followers never lose
 // their result to someone else's cancellation.
 func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
+	start := s.now()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -520,18 +637,20 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 	if err := s.ensurePolicy(opts.Method); err != nil {
 		return nil, err
 	}
+	rid := RequestIDFrom(ctx)
 
 	graphFP := req.Graph.Fingerprint()
 	key := planCacheKey(graphFP, s.pkgFP, s.planner.PolicyFingerprint(), opts)
 	if res, ok := s.cache.get(key); ok {
-		return s.cachedJob(res)
+		return s.cachedJob(res, rid, start, s.m.memHits)
 	}
 	// In-memory miss: consult the disk tier (outside s.mu — it does IO).
 	// A verified entry is promoted into the memory cache on the way out.
+	// A disk hit is a memory miss: the tier counters partition admissions.
 	if s.disk != nil {
 		if res, ok := s.diskGet(key); ok {
 			s.cache.put(key, res)
-			return s.cachedJob(res)
+			return s.cachedJob(res, rid, start, s.m.memMisses, s.m.diskHits)
 		}
 	}
 
@@ -543,17 +662,19 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 	// Single-flight: coalesce onto an in-flight computation for this key.
 	if s.coalesce {
 		if fl, ok := s.inflight[key]; ok {
-			job := s.registerJobLocked()
+			job := s.registerJobLocked(rid)
 			job.markCoalesced()
 			f := &flightFollower{job: job, progress: opts.Progress}
 			fl.followers = append(fl.followers, f)
-			s.plansCoalesced++
+			s.m.memMisses.Inc() // tier outcome first, then jobsSubmitted
+			s.m.plansCoalesced.Inc()
+			s.m.jobsSubmitted.Inc()
 			s.mu.Unlock()
 			go s.watchFollower(fl, f)
 			return job, nil
 		}
 	}
-	job := s.registerJobLocked()
+	job := s.registerJobLocked(rid)
 	fl := &flight{
 		key:        key,
 		graph:      req.Graph,
@@ -565,16 +686,20 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 	if s.coalesce {
 		s.inflight[key] = fl
 	}
-	s.jobsQueued++
+	// The queued gauge rises before TrySubmit: a worker may pick the task
+	// up (and decrement) the instant it lands in the channel.
+	s.m.jobsQueued.Inc()
 	if err := s.pool.TrySubmit(func() { s.runFlight(fl) }); err != nil {
 		// Roll the admission back entirely: the caller gets the error, not
 		// a registered failed job. (Still under s.mu, so no follower can
-		// have attached to the aborted flight.)
+		// have attached to the aborted flight.) jobsSubmitted was never
+		// incremented for this job — it counts only successful admissions,
+		// so there is no decrement to make and the counter stays monotone;
+		// the refusal is counted on jobsShed instead.
 		if s.coalesce {
 			delete(s.inflight, key)
 		}
-		s.jobsQueued--
-		s.jobsSubmitted--
+		s.m.jobsQueued.Dec()
 		delete(s.jobs, job.id)
 		for i := len(s.jobOrder) - 1; i >= 0; i-- {
 			if s.jobOrder[i] == job.id {
@@ -587,6 +712,7 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 		s.jobsWG.Done()
 		switch {
 		case errors.Is(err, parallel.ErrPoolFull):
+			s.m.jobsShed.Inc()
 			return nil, ErrBusy
 		case errors.Is(err, parallel.ErrPoolClosed):
 			return nil, ErrServiceClosed
@@ -594,25 +720,39 @@ func (s *Service) Submit(ctx context.Context, req PlanRequest) (*Job, error) {
 			return nil, err
 		}
 	}
+	s.m.memMisses.Inc() // tier outcome first, then jobsSubmitted
+	s.m.jobsSubmitted.Inc()
 	s.mu.Unlock()
 	return job, nil
 }
 
-// cachedJob registers an already-terminal job carrying a cache hit.
-func (s *Service) cachedJob(res *Result) (*Job, error) {
+// cachedJob registers an already-terminal job carrying a cache hit. start
+// is when Submit began — the warm-path latency observation. tiers are the
+// cache-tier counters this admission lands on (memory hit, or memory miss
+// + disk hit); they are incremented only once admission is certain, so a
+// draining rejection counts on no tier.
+func (s *Service) cachedJob(res *Result, rid string, start time.Time, tiers ...*telemetry.Counter) (*Job, error) {
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()
 		return nil, ErrServiceClosed
 	}
-	job := s.registerJobLocked()
+	job := s.registerJobLocked(rid)
+	for _, tier := range tiers {
+		tier.Inc() // tier outcome first, then jobsSubmitted
+	}
+	s.m.jobsSubmitted.Inc()
 	s.mu.Unlock()
 	s.finishJob(job, JobDone, res, nil, true)
+	s.m.planWarm.Observe(s.now().Sub(start).Seconds())
 	return job, nil
 }
 
 // diskGet reads and decodes one disk-tier entry; an envelope-valid entry
 // whose payload does not decode is quarantined like any other corruption.
+// The disk-hit counter is NOT incremented here — the caller counts it at
+// admission, so a request rejected after a successful read stays off the
+// books.
 func (s *Service) diskGet(key string) (*Result, bool) {
 	payload, ok := s.disk.Get(key)
 	if !ok {
@@ -623,21 +763,20 @@ func (s *Service) diskGet(key string) (*Result, bool) {
 		s.disk.Quarantine(key, fmt.Errorf("undecodable payload: %w", err))
 		return nil, false
 	}
-	s.mu.Lock()
-	s.diskHits++
-	s.mu.Unlock()
 	return w.Result(), true
 }
 
 // registerJobLocked allocates, registers, and retention-evicts under s.mu.
 // Every registered job holds one jobsWG count until its terminal
-// transition (finishJob) or an admission rollback.
-func (s *Service) registerJobLocked() *Job {
+// transition (finishJob) or an admission rollback. The submitted counter
+// is NOT incremented here — callers increment it only once admission is
+// certain, so it never needs a rollback decrement.
+func (s *Service) registerJobLocked(requestID string) *Job {
 	s.seq++
-	s.jobsSubmitted++
 	s.jobsWG.Add(1)
 	jobCtx, cancel := context.WithCancel(s.root)
 	job := newJob(fmt.Sprintf("job-%06d", s.seq), jobCtx, cancel)
+	job.requestID = requestID
 	s.jobs[job.id] = job
 	s.jobOrder = append(s.jobOrder, job.id)
 	// Evict oldest terminal jobs beyond the retention bound (and drop ids
@@ -695,9 +834,7 @@ func (s *Service) watchFollower(fl *flight, f *flightFollower) {
 // plan error is deterministic for the key (plans are a pure function of
 // it), so it resolves the flight too.
 func (s *Service) runFlight(fl *flight) {
-	s.mu.Lock()
-	s.jobsQueued--
-	s.mu.Unlock()
+	s.m.jobsQueued.Dec()
 	for {
 		s.mu.Lock()
 		job, opts := fl.leader, fl.leaderOpts
@@ -747,14 +884,12 @@ func (s *Service) planOnce(fl *flight, job *Job, opts PlanOptions) (res *Result,
 	if job.ctx.Err() != nil || !job.markRunning() {
 		return nil, context.Canceled
 	}
-	s.mu.Lock()
-	s.jobsRunning++
-	s.plansExecuted++
-	s.mu.Unlock()
+	s.m.jobsRunning.Inc()
+	s.m.plansExecuted.Inc()
+	start := s.now()
 	defer func() {
-		s.mu.Lock()
-		s.jobsRunning--
-		s.mu.Unlock()
+		s.m.planCold.Observe(s.now().Sub(start).Seconds())
+		s.m.jobsRunning.Dec()
 	}()
 
 	userProgress := opts.Progress
@@ -842,16 +977,14 @@ func (s *Service) finishJob(job *Job, state JobState, res *Result, err error, ca
 	if !job.finish(state, res, err, cached) {
 		return
 	}
-	s.mu.Lock()
 	switch state {
 	case JobDone:
-		s.jobsDone++
+		s.m.jobsDone.Inc()
 	case JobFailed:
-		s.jobsFailed++
+		s.m.jobsFailed.Inc()
 	case JobCancelled:
-		s.jobsCancelled++
+		s.m.jobsCancelled.Inc()
 	}
-	s.mu.Unlock()
 	s.jobsWG.Done()
 }
 
@@ -878,14 +1011,32 @@ func (s *Service) Plan(ctx context.Context, g *Graph, opts PlanOptions) (*Result
 // PlanBatch submits every request and waits for all of them. The results
 // slice is index-aligned with reqs; entries whose plan failed are nil. The
 // returned error is the lowest-index failure (admission or plan), so the
-// error a caller sees is deterministic. Cancelling ctx cancels the
-// still-running jobs (their best-so-far results are kept).
+// error a caller sees is deterministic. Cancelling ctx cancels every
+// outstanding job immediately — running ones keep their best-so-far
+// results, queued ones finish cancelled without consuming a worker.
 func (s *Service) PlanBatch(ctx context.Context, reqs []PlanRequest) ([]*Result, error) {
 	jobs := make([]*Job, len(reqs))
 	errs := make([]error, len(reqs))
 	for i, req := range reqs {
 		jobs[i], errs[i] = s.Submit(ctx, req)
 	}
+	// Fan the batch cancellation out to every job as soon as ctx is done.
+	// Waiting for the sequential loop below to reach each index would let
+	// queued jobs later in the batch run to completion on workers the
+	// caller has already given up on.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, job := range jobs {
+				if job != nil {
+					job.Cancel()
+				}
+			}
+		case <-watchDone:
+		}
+	}()
 	results := make([]*Result, len(reqs))
 	for i, job := range jobs {
 		if job == nil {
